@@ -1,0 +1,47 @@
+"""Figure 10 — number of FPR itemsets vs pruning threshold ε, for
+COMPAS (a) and adult (b) at several supports.
+
+Paper shape: even small ε collapses the pattern count by orders of
+magnitude; counts decrease monotonically in ε and lower supports start
+from (much) higher counts.
+"""
+
+from repro.core.pruning import pruned_count_by_epsilon
+from repro.experiments.tables import format_table
+
+EPSILONS = [0.0, 0.01, 0.02, 0.05, 0.1]
+SUPPORTS = [0.1, 0.05]
+
+
+def test_fig10_pruning_sweep(benchmark, compas_explorer, adult_explorer, report):
+    rows = []
+    series = {}
+    for name, explorer in (("compas", compas_explorer), ("adult", adult_explorer)):
+        for support in SUPPORTS:
+            result = explorer.explore("fpr", min_support=support)
+            counts = pruned_count_by_epsilon(result, EPSILONS)
+            series[(name, support)] = counts
+            for eps in EPSILONS:
+                rows.append(
+                    {
+                        "dataset": name,
+                        "s": support,
+                        "ε": eps,
+                        "itemsets": counts[eps],
+                        "unpruned": len(result) - 1,
+                    }
+                )
+    report("fig10_pruning_sweep", format_table(rows))
+
+    result = compas_explorer.explore("fpr", min_support=0.1)
+    benchmark(lambda: pruned_count_by_epsilon(result, EPSILONS))
+
+    for (name, support), counts in series.items():
+        values = [counts[e] for e in EPSILONS]
+        # Monotone decrease in ε.
+        assert values == sorted(values, reverse=True)
+        # ε = 0.05 gives an order-of-magnitude style summarization.
+        assert counts[0.05] < max(1, counts[0.0]) / 3
+    # Lower support -> more patterns before pruning.
+    for name in ("compas", "adult"):
+        assert series[(name, 0.05)][0.0] >= series[(name, 0.1)][0.0]

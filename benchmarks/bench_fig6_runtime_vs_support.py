@@ -1,0 +1,86 @@
+"""Figure 6 — DivExplorer execution time vs minimum support threshold.
+
+Paper shape: runtime decreases monotonically (modulo noise) with higher
+support; *german* (21 attributes) is by far the slowest dataset at low
+support; all other datasets finish in seconds even at s = 0.01.
+
+The absolute numbers differ from the paper's testbed (we run pure-Python
+miners on different hardware); the ordering and trend are the
+reproduced quantities.
+"""
+
+from repro.core.divergence import DivergenceExplorer
+from repro.datasets import load
+from repro.experiments.runner import time_call
+from repro.experiments.tables import format_table
+
+SUPPORTS = [0.20, 0.10, 0.05, 0.03, 0.01]
+DATASETS = ["compas", "heart", "bank", "adult", "german", "artificial"]
+# German at s=0.01 explodes combinatorially in any implementation (the
+# paper reports ~150 s there); we sweep it down to 0.03 and report the
+# rest, keeping the bench total in CI-friendly territory.
+MIN_SUPPORT_FLOOR = {"german": 0.03}
+
+
+def test_fig6_runtime_vs_support(benchmark, report):
+    explorers = {}
+    for name in DATASETS:
+        data = load(name, seed=0, classifier="logistic")
+        explorers[name] = DivergenceExplorer(
+            data.table, data.true_column, data.pred_column
+        )
+
+    rows = []
+    timings = {}
+    for name in DATASETS:
+        for support in SUPPORTS:
+            if support < MIN_SUPPORT_FLOOR.get(name, 0.0):
+                continue
+            elapsed, result = time_call(
+                explorers[name].explore, "fpr", support
+            )
+            timings[(name, support)] = elapsed
+            rows.append(
+                {
+                    "dataset": name,
+                    "s": support,
+                    "seconds": round(elapsed, 3),
+                    "patterns": len(result),
+                }
+            )
+    from repro.experiments.plots import line_chart
+
+    series = {
+        name: [
+            (s, timings[(name, s)])
+            for s in SUPPORTS
+            if (name, s) in timings
+        ]
+        for name in DATASETS
+    }
+    chart = line_chart(
+        series, title="execution time (s) vs support threshold", log_y=True
+    )
+    report("fig6_runtime_vs_support", format_table(rows) + "\n\n" + chart)
+
+    # One representative point goes through pytest-benchmark for stats.
+    benchmark(lambda: explorers["compas"].explore("fpr", 0.05))
+
+    # Shape assertions.
+    for name in DATASETS:
+        supports = [s for s in SUPPORTS if s >= MIN_SUPPORT_FLOOR.get(name, 0.0)]
+        # Low support never beats high support by a meaningful margin.
+        assert timings[(name, supports[-1])] >= timings[(name, supports[0])] * 0.5
+    # german's 21 attributes make it the combinatorial outlier: per row
+    # of data it is by far the most expensive dataset to mine at low
+    # support (the paper's Fig. 6/7 observation).
+    common = 0.03
+    sizes = {"compas": 6172, "heart": 296, "bank": 11_162, "adult": 45_222,
+             "german": 1000, "artificial": 50_000}
+    per_row = {n: timings[(n, common)] / sizes[n] for n in DATASETS}
+    assert max(per_row, key=per_row.get) == "german"
+    assert timings[("german", common)] > timings[("compas", common)]
+    # Everything except german mines in seconds even at s=0.01.
+    for name in DATASETS:
+        if name not in MIN_SUPPORT_FLOOR:
+            assert timings[(name, 0.01)] < 120

@@ -1,0 +1,57 @@
+"""Figure 8 — item contributions for the top adult FPR/FNR patterns.
+
+Paper shape: (a) for the top FPR pattern, being married and working as
+a professional carry the divergence, while gain=0 / race=White are
+marginal; (b) for the top FNR pattern, young age / unmarried status
+carry it, with hours≤40 limited.
+"""
+
+from repro.core.shapley import shapley_contributions
+from repro.experiments.tables import format_table
+
+
+def test_fig8_shapley_adult(benchmark, adult_explorer, report):
+    fpr = adult_explorer.explore("fpr", min_support=0.05)
+    fnr = adult_explorer.explore("fnr", min_support=0.05)
+    top_fpr = fpr.top_k(1)[0]
+    top_fnr = fnr.top_k(1)[0]
+
+    fpr_contrib = benchmark(lambda: shapley_contributions(fpr, top_fpr.itemset))
+    fnr_contrib = shapley_contributions(fnr, top_fnr.itemset)
+
+    def rows(contrib):
+        return [
+            {"item": str(item), "contribution": value}
+            for item, value in sorted(contrib.items(), key=lambda kv: -kv[1])
+        ]
+
+    from repro.experiments.plots import bar_chart
+
+    charts = (
+        bar_chart({str(k): v for k, v in fpr_contrib.items()},
+                  title="(a) FPR item contributions")
+        + "\n\n"
+        + bar_chart({str(k): v for k, v in fnr_contrib.items()},
+                    title="(b) FNR item contributions")
+    )
+    report(
+        "fig8_shapley_adult",
+        charts
+        + "\n\n" +
+        format_table(rows(fpr_contrib),
+                     title=f"(a) FPR: ({top_fpr.itemset}) Δ={top_fpr.divergence:.3f}")
+        + "\n\n"
+        + format_table(rows(fnr_contrib),
+                       title=f"(b) FNR: ({top_fnr.itemset}) Δ={top_fnr.divergence:.3f}"),
+    )
+
+    # Shape: the dominant FPR contributor is a marriage/occupation item.
+    top_item = max(fpr_contrib, key=fpr_contrib.get)
+    assert top_item.attribute in ("status", "occup", "relation")
+    # gain=0 / loss=0 style items are marginal when present.
+    for item, value in fpr_contrib.items():
+        if item.attribute in ("gain", "loss"):
+            assert abs(value) < 0.35 * max(fpr_contrib.values())
+    # FNR dominant contributor is an age/status/relationship/occupation item.
+    top_fnr_item = max(fnr_contrib, key=fnr_contrib.get)
+    assert top_fnr_item.attribute in ("age", "status", "relation", "occup", "edu")

@@ -1,0 +1,51 @@
+"""Table 1 — example COMPAS patterns with their FPR/FNR.
+
+Paper values: overall FPR 0.088, FNR 0.698; the pattern
+(age=25-45, #prior>3, race=African-American, sex=Male) has FPR 0.308;
+(age>45, race=Caucasian) has FNR 0.929; the corrective contrast
+(race=Afr-Am, sex=Male) 0.150 vs + #prior>3 -> 0.267 vs + #prior=0 ->
+0.097.
+"""
+
+from repro.core.items import Itemset
+from repro.experiments.tables import format_table
+
+PATTERNS_FPR = [
+    "age=25-45, #prior=>3, race=African-American, sex=Male",
+    "race=African-American, sex=Male",
+    "#prior=>3, race=African-American, sex=Male",
+    "#prior=0, race=African-American, sex=Male",
+]
+PATTERNS_FNR = ["age=>45, race=Caucasian"]
+
+
+def test_table1_compas_examples(benchmark, compas_explorer, report):
+    fpr = benchmark(
+        lambda: compas_explorer.explore("fpr", min_support=0.01)
+    )
+    fnr = compas_explorer.explore("fnr", min_support=0.01)
+
+    rows = []
+    for text in PATTERNS_FPR:
+        rec = fpr.record(Itemset.parse(text))
+        rows.append({"itemset": text, "metric": "FPR", "rate": rec.rate})
+    for text in PATTERNS_FNR:
+        rec = fnr.record(Itemset.parse(text))
+        rows.append({"itemset": text, "metric": "FNR", "rate": rec.rate})
+    rows.append({"itemset": "<overall>", "metric": "FPR", "rate": fpr.global_rate})
+    rows.append({"itemset": "<overall>", "metric": "FNR", "rate": fnr.global_rate})
+    report("table1_compas_examples", format_table(rows))
+
+    # Shape assertions mirroring the paper's Table 1 story.
+    overall_fpr = fpr.global_rate
+    big = fpr.record(Itemset.parse(PATTERNS_FPR[0])).rate
+    base = fpr.record(Itemset.parse(PATTERNS_FPR[1])).rate
+    more = fpr.record(Itemset.parse(PATTERNS_FPR[2])).rate
+    less = fpr.record(Itemset.parse(PATTERNS_FPR[3])).rate
+    # The 4-item pattern has far-above-overall FPR.
+    assert big > 2 * overall_fpr
+    # Adding #prior>3 raises FPR; adding #prior=0 lowers it (corrective).
+    assert more > base > less
+    # Older caucasians have far-above-overall FNR.
+    fnr_rec = fnr.record(Itemset.parse(PATTERNS_FNR[0]))
+    assert fnr_rec.rate > fnr.global_rate + 0.15

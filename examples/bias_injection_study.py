@@ -1,0 +1,43 @@
+"""Bias-injection study: can each tool's output surface a planted bug?
+
+Reproduces the paper's user-study pipeline (Sec. 6.6) end to end:
+inject bias into the subgroup (age>45, charge=M), train a biased MLP,
+then compare how well the information produced by DivExplorer,
+Slice Finder and LIME leads (simulated) users to the injected pattern.
+
+Run:  python examples/bias_injection_study.py
+"""
+
+from repro.experiments import print_table
+from repro.userstudy import run_user_study
+
+
+def main() -> None:
+    result = run_user_study(seed=0, n_users=35)
+    print(f"injected bias pattern: ({result.injected})\n")
+    print("information sheet each group received:")
+    print("  DivExplorer top patterns:",
+          "; ".join(str(i) for i in result.divexplorer_top))
+    print("  Slice Finder slices:    ",
+          "; ".join(str(i) for i in result.slicefinder_top))
+    print("  LIME aggregate items:   ",
+          "; ".join(str(i) for i in result.lime_top_items))
+    print()
+    print_table(
+        [
+            {
+                "group": g.group,
+                "users": g.n_users,
+                "hit %": 100 * g.hit_rate,
+                "partial %": 100 * g.partial_rate,
+                "combined %": 100 * g.combined_rate,
+            }
+            for g in result.groups
+        ],
+        title="simulated user-study hit rates (cf. paper Fig. 12)",
+        float_digits=1,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Interactive exploration server (the DivExplorer demo tool, headless).
+
+The paper's companion tool [20] is an interactive web UI over the same
+analyses this library implements. This subpackage provides the backend:
+a dependency-free HTTP/JSON server exposing exploration, drill-down,
+global divergence, corrective items and lattice endpoints, plus a
+minimal built-in HTML page. Explorations are cached per
+(dataset, metric, support) so interactive navigation stays fast.
+"""
+
+from repro.app.server import AppState, create_server
+
+__all__ = ["AppState", "create_server"]

@@ -1,0 +1,24 @@
+"""Run the exploration server: ``python -m repro.app [--port 8000]``."""
+
+import argparse
+
+from repro.app.server import create_server
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(prog="repro.app")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    server = create_server(args.host, args.port, seed=args.seed)
+    host, port = server.server_address[:2]
+    print(f"DivExplorer server on http://{host}:{port}/ (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

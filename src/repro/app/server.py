@@ -1,0 +1,368 @@
+"""HTTP/JSON backend for interactive divergence exploration.
+
+Endpoints (all GET, JSON responses):
+
+- ``/api/datasets``                      bundled datasets + characteristics
+- ``/api/explore``    params: ``dataset, metric, support, top, epsilon?``
+- ``/api/shapley``    params: ``dataset, metric, support, pattern``
+- ``/api/global``     params: ``dataset, metric, support, top``
+- ``/api/corrective`` params: ``dataset, metric, support, top``
+- ``/api/lattice``    params: ``dataset, metric, support, pattern, threshold?``
+- ``/``               minimal HTML page that calls the API
+
+Errors return ``{"error": ...}`` with status 400/404. The server is a
+stock ``ThreadingHTTPServer``; run it with ``python -m repro.app``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.corrective import find_corrective_items
+from repro.core.divergence import DivergenceExplorer
+from repro.core.global_divergence import (
+    global_item_divergence,
+    individual_item_divergence,
+)
+from repro.core.items import Itemset
+from repro.core.pruning import prune_redundant
+from repro.core.result import PatternDivergenceResult
+from repro.datasets import DATASET_NAMES, dataset_characteristics, load
+from repro.exceptions import ReproError
+
+_INDEX_HTML = """<!doctype html>
+<html><head><title>DivExplorer</title>
+<style>
+ body { font-family: sans-serif; margin: 2rem; }
+ table { border-collapse: collapse; }
+ td, th { border: 1px solid #999; padding: 4px 8px; }
+ input, select { margin-right: 8px; }
+</style></head>
+<body>
+<h1>DivExplorer — pattern divergence</h1>
+<form onsubmit="run(); return false;">
+  <select id="dataset">
+    <option>compas</option><option>adult</option><option>artificial</option>
+    <option>bank</option><option>german</option><option>heart</option>
+  </select>
+  <select id="metric">
+    <option>fpr</option><option>fnr</option><option>error</option>
+    <option>accuracy</option>
+  </select>
+  <input id="support" value="0.1" size="5">
+  <button>explore</button>
+</form>
+<div id="out"></div>
+<script>
+async function run() {
+  const d = document.getElementById('dataset').value;
+  const m = document.getElementById('metric').value;
+  const s = document.getElementById('support').value;
+  const r = await fetch(`/api/explore?dataset=${d}&metric=${m}&support=${s}&top=15`);
+  const data = await r.json();
+  if (data.error) { document.getElementById('out').innerText = data.error; return; }
+  let html = `<p>overall ${m} = ${data.global_rate.toFixed(3)}</p>`;
+  html += '<table><tr><th>itemset</th><th>sup</th><th>&Delta;</th><th>t</th></tr>';
+  for (const row of data.patterns) {
+    html += `<tr><td>${row.itemset}</td><td>${row.support.toFixed(3)}</td>` +
+            `<td>${row.divergence.toFixed(3)}</td><td>${row.t.toFixed(1)}</td></tr>`;
+  }
+  html += '</table>';
+  document.getElementById('out').innerHTML = html;
+}
+</script>
+</body></html>
+"""
+
+
+class AppState:
+    """Cached explorations keyed by (dataset, metric, support).
+
+    Besides the bundled datasets, uploaded CSVs are registered under
+    ``upload:<name>`` handles and explored exactly like bundled data.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._cache: dict[tuple, PatternDivergenceResult] = {}
+        self._explorers: dict[str, DivergenceExplorer] = {}
+        self._lock = threading.Lock()
+
+    def register_upload(
+        self,
+        name: str,
+        csv_text: str,
+        true_column: str,
+        pred_column: str,
+        bins: int = 3,
+    ) -> str:
+        """Parse an uploaded CSV and register it; returns the handle."""
+        import os
+        import tempfile
+
+        from repro.tabular.discretize import discretize_table
+        from repro.tabular.io import read_csv
+
+        handle = f"upload:{name}"
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".csv", delete=False
+        ) as fh:
+            fh.write(csv_text)
+            path = fh.name
+        try:
+            table = discretize_table(read_csv(path), default_bins=bins)
+        finally:
+            os.unlink(path)
+        explorer = DivergenceExplorer(table, true_column, pred_column)
+        with self._lock:
+            self._explorers[handle] = explorer
+            # invalidate stale results for a re-uploaded handle
+            self._cache = {
+                k: v for k, v in self._cache.items() if k[0] != handle
+            }
+        return handle
+
+    def explorer(self, dataset: str) -> DivergenceExplorer:
+        """Load (and cache) the explorer for a dataset or upload handle."""
+        with self._lock:
+            if dataset in self._explorers:
+                return self._explorers[dataset]
+        if dataset.startswith("upload:"):
+            raise ReproError(f"unknown upload handle {dataset!r}")
+        data = load(dataset, seed=self.seed)
+        explorer = DivergenceExplorer(
+            data.table,
+            data.true_column,
+            data.pred_column,
+            attributes=data.attributes,
+        )
+        with self._lock:
+            self._explorers[dataset] = explorer
+            return self._explorers[dataset]
+
+    def result(
+        self, dataset: str, metric: str, support: float
+    ) -> PatternDivergenceResult:
+        """Explore (and cache) one configuration."""
+        key = (dataset, metric, support)
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.explorer(dataset).explore(metric, min_support=support)
+        with self._lock:
+            self._cache[key] = result
+        return result
+
+
+def _json_safe(value: float) -> float | None:
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the state object is attached to the server."""
+
+    # Silence per-request logging in tests.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        try:
+            if parsed.path == "/":
+                self._send_html(_INDEX_HTML)
+            elif parsed.path == "/api/datasets":
+                self._send_json({"datasets": dataset_characteristics()})
+            elif parsed.path == "/api/explore":
+                self._send_json(self._explore(params))
+            elif parsed.path == "/api/shapley":
+                self._send_json(self._shapley(params))
+            elif parsed.path == "/api/global":
+                self._send_json(self._global(params))
+            elif parsed.path == "/api/corrective":
+                self._send_json(self._corrective(params))
+            elif parsed.path == "/api/lattice":
+                self._send_json(self._lattice(params))
+            else:
+                self._send_json({"error": f"unknown path {parsed.path}"}, 404)
+        except ReproError as exc:
+            self._send_json({"error": str(exc)}, 400)
+        except (KeyError, ValueError) as exc:
+            self._send_json({"error": f"bad request: {exc}"}, 400)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def _state(self) -> AppState:
+        return self.server.app_state  # type: ignore[attr-defined]
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        try:
+            if parsed.path == "/api/upload":
+                length = int(self.headers.get("Content-Length", "0"))
+                if length <= 0:
+                    raise ReproError("empty upload body")
+                body = self.rfile.read(length).decode("utf-8")
+                handle = self._state.register_upload(
+                    params.get("name", "data"),
+                    body,
+                    params.get("true_column", "class"),
+                    params.get("pred_column", "pred"),
+                    bins=int(params.get("bins", "3")),
+                )
+                self._send_json({"dataset": handle})
+            else:
+                self._send_json({"error": f"unknown path {parsed.path}"}, 404)
+        except ReproError as exc:
+            self._send_json({"error": str(exc)}, 400)
+        except (KeyError, ValueError, UnicodeDecodeError) as exc:
+            self._send_json({"error": f"bad request: {exc}"}, 400)
+
+    def _result(self, params: dict[str, str]) -> PatternDivergenceResult:
+        dataset = params.get("dataset", "compas")
+        if dataset not in DATASET_NAMES and not dataset.startswith("upload:"):
+            raise ReproError(f"unknown dataset {dataset!r}")
+        metric = params.get("metric", "fpr")
+        support = float(params.get("support", "0.1"))
+        return self._state.result(dataset, metric, support)
+
+    def _explore(self, params: dict[str, str]) -> dict:
+        result = self._result(params)
+        top = int(params.get("top", "10"))
+        if "epsilon" in params:
+            records = prune_redundant(result, float(params["epsilon"]))[:top]
+        else:
+            records = result.top_k(top)
+        return {
+            "metric": result.metric,
+            "global_rate": _json_safe(result.global_rate),
+            "n_patterns": len(result) - 1,
+            "patterns": [
+                {
+                    "itemset": str(r.itemset),
+                    "support": r.support,
+                    "divergence": _json_safe(r.divergence),
+                    "t": r.t_statistic,
+                }
+                for r in records
+            ],
+        }
+
+    def _shapley(self, params: dict[str, str]) -> dict:
+        result = self._result(params)
+        pattern = Itemset.parse(params["pattern"])
+        contributions = result.shapley(pattern)
+        return {
+            "pattern": str(pattern),
+            "divergence": _json_safe(result.divergence_of(pattern)),
+            "contributions": [
+                {"item": str(item), "value": value}
+                for item, value in sorted(
+                    contributions.items(), key=lambda kv: -abs(kv[1])
+                )
+            ],
+        }
+
+    def _global(self, params: dict[str, str]) -> dict:
+        result = self._result(params)
+        top = int(params.get("top", "12"))
+        global_div = global_item_divergence(result)
+        individual = individual_item_divergence(result)
+        return {
+            "items": [
+                {
+                    "item": str(item),
+                    "global": value,
+                    "individual": _json_safe(
+                        individual.get(item, float("nan"))
+                    ),
+                }
+                for item, value in sorted(
+                    global_div.items(), key=lambda kv: -kv[1]
+                )[:top]
+            ]
+        }
+
+    def _corrective(self, params: dict[str, str]) -> dict:
+        result = self._result(params)
+        top = int(params.get("top", "10"))
+        return {
+            "corrective": [
+                {
+                    "base": str(c.base),
+                    "item": str(c.item),
+                    "base_divergence": _json_safe(c.base_divergence),
+                    "corrected_divergence": _json_safe(c.corrected_divergence),
+                    "factor": c.corrective_factor,
+                    "t": c.t_statistic,
+                }
+                for c in find_corrective_items(result, k=top)
+            ]
+        }
+
+    def _lattice(self, params: dict[str, str]) -> dict:
+        result = self._result(params)
+        pattern = Itemset.parse(params["pattern"])
+        threshold = float(params.get("threshold", "0.15"))
+        lattice = result.lattice(pattern)
+        nodes = [
+            {
+                "itemset": str(node),
+                "length": len(node),
+                "divergence": _json_safe(data["divergence"]),
+                "support": data["support"],
+                "corrective": data["corrective"],
+                "divergent": (
+                    not math.isnan(data["divergence"])
+                    and data["divergence"] >= threshold
+                ),
+            }
+            for node, data in lattice.graph.nodes(data=True)
+        ]
+        edges = [
+            {
+                "parent": str(parent),
+                "child": str(child),
+                "delta": _json_safe(data["delta"]),
+            }
+            for parent, child, data in lattice.graph.edges(data=True)
+        ]
+        return {"pattern": str(pattern), "nodes": nodes, "edges": edges}
+
+    # ------------------------------------------------------------------
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, html: str) -> None:
+        body = html.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def create_server(
+    host: str = "127.0.0.1", port: int = 0, seed: int = 0
+) -> ThreadingHTTPServer:
+    """Create (but do not start) the exploration server.
+
+    ``port=0`` picks a free port; read it back from
+    ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.app_state = AppState(seed=seed)  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,12 @@
+"""Baseline systems the paper compares against.
+
+- :mod:`repro.baselines.slicefinder` — Slice Finder [Chung et al.],
+  lattice search for problematic slices (paper Sec. 6.5 comparison);
+- :mod:`repro.baselines.lime` — LIME-style local surrogate explainer
+  (paper Sec. 6.6 user study).
+"""
+
+from repro.baselines.lime import LimeExplainer, LimeExplanation
+from repro.baselines.slicefinder import Slice, SliceFinder
+
+__all__ = ["LimeExplainer", "LimeExplanation", "Slice", "SliceFinder"]

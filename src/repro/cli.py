@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands cover the full analysis surface:
+
+- ``datasets``   — list bundled datasets and their characteristics
+- ``explore``    — top divergent patterns for a metric
+- ``shapley``    — item contributions of one pattern
+- ``global``     — global vs individual item divergence
+- ``corrective`` — top corrective items
+- ``significant``— patterns surviving Benjamini-Hochberg FDR control
+- ``lattice``    — render the subset lattice of a pattern (text or DOT)
+- ``report``     — full markdown audit report
+- ``study``      — run the simulated bias-injection user study
+
+Data can come from a bundled generator (``--dataset compas``) or from a
+CSV file (``--csv data.csv --true-column y --pred-column yhat``), in
+which case continuous columns are quantile-discretized.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Itemset
+from repro.core.result import records_as_rows
+from repro.core.serialize import lattice_to_dot
+from repro.datasets import DATASET_NAMES, dataset_characteristics, load
+from repro.exceptions import ReproError
+from repro.experiments.report import divergence_report
+from repro.experiments.tables import format_table
+from repro.tabular.discretize import discretize_table
+from repro.tabular.io import read_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DivExplorer reproduction — pattern divergence analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list bundled datasets")
+
+    def add_data_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=DATASET_NAMES,
+                       help="bundled dataset name")
+        p.add_argument("--csv", help="CSV file with your own data")
+        p.add_argument("--true-column", default="class")
+        p.add_argument("--pred-column", default="pred")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--bins", type=int, default=3,
+                       help="quantile bins for CSV continuous columns")
+
+    def add_explore_args(p: argparse.ArgumentParser) -> None:
+        add_data_args(p)
+        p.add_argument("--metric", default="fpr")
+        p.add_argument("--support", type=float, default=0.1)
+        p.add_argument("--algorithm", default="fpgrowth",
+                       choices=["fpgrowth", "apriori", "eclat", "bruteforce"])
+
+    p_explore = sub.add_parser("explore", help="top divergent patterns")
+    add_explore_args(p_explore)
+    p_explore.add_argument("--top", type=int, default=10)
+    p_explore.add_argument("--epsilon", type=float,
+                           help="apply ε-redundancy pruning first")
+
+    p_shapley = sub.add_parser("shapley", help="item contributions")
+    add_explore_args(p_shapley)
+    p_shapley.add_argument("--pattern", required=True,
+                           help='e.g. "sex=Male, #prior=>3"')
+
+    p_global = sub.add_parser("global", help="global item divergence")
+    add_explore_args(p_global)
+    p_global.add_argument("--top", type=int, default=12)
+
+    p_corr = sub.add_parser("corrective", help="top corrective items")
+    add_explore_args(p_corr)
+    p_corr.add_argument("--top", type=int, default=10)
+
+    p_sig = sub.add_parser(
+        "significant", help="patterns surviving FDR control"
+    )
+    add_explore_args(p_sig)
+    p_sig.add_argument("--alpha", type=float, default=0.05)
+    p_sig.add_argument("--top", type=int, default=10)
+
+    p_lattice = sub.add_parser("lattice", help="subset lattice of a pattern")
+    add_explore_args(p_lattice)
+    p_lattice.add_argument("--pattern", required=True)
+    p_lattice.add_argument("--threshold", type=float, default=0.15)
+    p_lattice.add_argument("--dot", action="store_true",
+                           help="emit Graphviz DOT instead of text")
+
+    p_report = sub.add_parser("report", help="full markdown audit report")
+    add_data_args(p_report)
+    p_report.add_argument("--support", type=float, default=0.05)
+    p_report.add_argument("--metrics", default="fpr,fnr,error,accuracy")
+    p_report.add_argument("--output", help="write report to this file")
+
+    p_study = sub.add_parser("study", help="simulated user study")
+    p_study.add_argument("--seed", type=int, default=0)
+    p_study.add_argument("--users", type=int, default=35)
+
+    return parser
+
+
+def _load_explorer(args: argparse.Namespace) -> DivergenceExplorer:
+    """Build an explorer from --dataset or --csv arguments."""
+    if args.dataset and args.csv:
+        raise ReproError("pass either --dataset or --csv, not both")
+    if args.dataset:
+        data = load(args.dataset, seed=args.seed)
+        return DivergenceExplorer(
+            data.table, data.true_column, data.pred_column,
+            attributes=data.attributes,
+        )
+    if args.csv:
+        table = read_csv(args.csv)
+        table = discretize_table(table, default_bins=args.bins)
+        pred = args.pred_column if args.pred_column in table else None
+        return DivergenceExplorer(table, args.true_column, pred)
+    raise ReproError("one of --dataset or --csv is required")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> None:
+    if args.command == "datasets":
+        print(format_table(dataset_characteristics(), title="bundled datasets"))
+        return
+
+    if args.command == "study":
+        from repro.userstudy import run_user_study
+
+        result = run_user_study(seed=args.seed, n_users=args.users)
+        rows = [
+            {
+                "group": g.group,
+                "users": g.n_users,
+                "hit %": round(100 * g.hit_rate, 1),
+                "partial %": round(100 * g.partial_rate, 1),
+            }
+            for g in result.groups
+        ]
+        print(format_table(rows, title=f"injected: ({result.injected})"))
+        return
+
+    if args.command == "report":
+        explorer = _load_explorer(args)
+        text = divergence_report(
+            explorer,
+            metrics=[m.strip() for m in args.metrics.split(",") if m.strip()],
+            min_support=args.support,
+        )
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return
+
+    explorer = _load_explorer(args)
+    result = explorer.explore(
+        args.metric, min_support=args.support, algorithm=args.algorithm
+    )
+
+    if args.command == "explore":
+        if args.epsilon is not None:
+            records = result.pruned(args.epsilon)[: args.top]
+            title = (f"{args.metric.upper()} top patterns "
+                     f"(s={args.support}, ε={args.epsilon})")
+        else:
+            records = result.top_k(args.top)
+            title = f"{args.metric.upper()} top patterns (s={args.support})"
+        print(f"overall {args.metric} = {result.global_rate:.4f}")
+        print(format_table(
+            records_as_rows(records, f"Δ_{args.metric}"), title=title
+        ))
+    elif args.command == "shapley":
+        pattern = Itemset.parse(args.pattern)
+        contributions = result.shapley(pattern)
+        print(f"Δ({pattern}) = {result.divergence_of(pattern):+.4f}")
+        for item, value in sorted(
+            contributions.items(), key=lambda kv: -abs(kv[1])
+        ):
+            print(f"  {str(item):40s} {value:+.4f}")
+    elif args.command == "global":
+        global_div = result.global_item_divergence()
+        individual = result.individual_item_divergence()
+        rows = [
+            {
+                "item": str(item),
+                "global": round(value, 4),
+                "individual": round(individual.get(item, float("nan")), 4),
+            }
+            for item, value in sorted(
+                global_div.items(), key=lambda kv: -kv[1]
+            )[: args.top]
+        ]
+        print(format_table(rows, title="global vs individual item divergence"))
+    elif args.command == "corrective":
+        for c in result.corrective_items(args.top):
+            print(c)
+    elif args.command == "significant":
+        records = result.significant(alpha=args.alpha, k=args.top)
+        print(
+            f"{len(records)} patterns survive BH FDR control "
+            f"at alpha={args.alpha}"
+        )
+        print(format_table(
+            records_as_rows(records, f"Δ_{args.metric}"),
+            title=f"{args.metric.upper()} significant patterns",
+        ))
+    elif args.command == "lattice":
+        lattice = result.lattice(Itemset.parse(args.pattern))
+        if args.dot:
+            print(lattice_to_dot(lattice, threshold=args.threshold))
+        else:
+            print(lattice.render(threshold=args.threshold))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

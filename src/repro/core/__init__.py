@@ -1,0 +1,58 @@
+"""Core DivExplorer functionality: divergence over frequent itemsets.
+
+This subpackage implements the paper's contribution: itemset divergence
+(Sec. 3), Bayesian statistical significance (Sec. 3.3), Shapley-based
+local item contributions (Sec. 4.1), corrective items (Sec. 4.2), global
+item divergence (Sec. 4.3), the mining algorithm (Sec. 5), redundancy
+pruning (Sec. 3.5) and lattice exploration (Sec. 6.4).
+"""
+
+from repro.core.continuous import (
+    ContinuousDivergenceExplorer,
+    ContinuousDivergenceResult,
+    ContinuousPatternRecord,
+)
+from repro.core.corrective import CorrectiveItem, find_corrective_items
+from repro.core.divergence import DivergenceExplorer
+from repro.core.global_divergence import (
+    global_divergence_of_itemset,
+    global_item_divergence,
+    individual_item_divergence,
+)
+from repro.core.items import Item, Itemset
+from repro.core.lattice import DivergenceLattice
+from repro.core.multi import explore_multi
+from repro.core.outcomes import OUTCOME_METRICS, OutcomeFunction, outcome_metric
+from repro.core.pruning import prune_redundant
+from repro.core.result import PatternDivergenceResult, PatternRecord
+from repro.core.serialize import lattice_to_dot, result_from_json, result_to_json
+from repro.core.shapley import shapley_contributions
+from repro.core.significance import beta_moments, welch_t_statistic
+
+__all__ = [
+    "ContinuousDivergenceExplorer",
+    "ContinuousDivergenceResult",
+    "ContinuousPatternRecord",
+    "CorrectiveItem",
+    "DivergenceExplorer",
+    "DivergenceLattice",
+    "Item",
+    "Itemset",
+    "OUTCOME_METRICS",
+    "OutcomeFunction",
+    "PatternDivergenceResult",
+    "PatternRecord",
+    "beta_moments",
+    "explore_multi",
+    "find_corrective_items",
+    "global_divergence_of_itemset",
+    "global_item_divergence",
+    "individual_item_divergence",
+    "lattice_to_dot",
+    "outcome_metric",
+    "prune_redundant",
+    "result_from_json",
+    "result_to_json",
+    "shapley_contributions",
+    "welch_t_statistic",
+]

@@ -1,0 +1,114 @@
+"""Model comparison via divergence tables.
+
+The paper lists *model comparison* among the applications of subgroup
+analysis (Sec. 1, citing MLCube and Slice Finder). This module makes it
+concrete: given two explorations of the same metric over the same
+attribute catalog — two model versions, two training runs, pre/post a
+fairness intervention — it aligns their pattern tables and reports
+where behaviour changed, ranked by the shift in divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.items import Itemset
+from repro.core.result import PatternDivergenceResult
+from repro.core.significance import beta_moments, welch_t_statistic
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class PatternShift:
+    """One pattern's change between two models."""
+
+    itemset: Itemset
+    divergence_a: float
+    divergence_b: float
+    rate_a: float
+    rate_b: float
+    t_statistic: float
+
+    @property
+    def shift(self) -> float:
+        """Signed change in divergence (B minus A)."""
+        return self.divergence_b - self.divergence_a
+
+    def __str__(self) -> str:
+        return (
+            f"({self.itemset}) Δ {self.divergence_a:+.3f} -> "
+            f"{self.divergence_b:+.3f} (shift {self.shift:+.3f}, "
+            f"t={self.t_statistic:.1f})"
+        )
+
+
+def compare_results(
+    result_a: PatternDivergenceResult,
+    result_b: PatternDivergenceResult,
+    k: int = 10,
+    min_t: float = 0.0,
+) -> list[PatternShift]:
+    """Patterns whose divergence shifted most between two explorations.
+
+    Both explorations must use the same metric and compatible catalogs
+    (same attributes and categories); patterns frequent in only one of
+    the two are skipped (their shift is not measurable at threshold).
+    The reported ``t`` compares the two subgroup rates directly via the
+    Beta-posterior Welch statistic of Sec. 3.3.
+    """
+    if result_a.metric != result_b.metric:
+        raise ReproError(
+            f"cannot compare different metrics: "
+            f"{result_a.metric!r} vs {result_b.metric!r}"
+        )
+    if result_a.catalog.attributes != result_b.catalog.attributes or (
+        result_a.catalog.categories != result_b.catalog.categories
+    ):
+        raise ReproError("catalogs differ; explore the same schema first")
+
+    shifts: list[PatternShift] = []
+    for key in result_a.frequent:
+        if len(key) == 0 or key not in result_b.frequent:
+            continue
+        rec_a = result_a.record_for_key(key)
+        rec_b = result_b.record_for_key(key)
+        if math.isnan(rec_a.divergence) or math.isnan(rec_b.divergence):
+            continue
+        mu_a, var_a = beta_moments(rec_a.t_count, rec_a.f_count)
+        mu_b, var_b = beta_moments(rec_b.t_count, rec_b.f_count)
+        t_stat = welch_t_statistic(mu_a, var_a, mu_b, var_b)
+        if t_stat < min_t:
+            continue
+        shifts.append(
+            PatternShift(
+                itemset=rec_a.itemset,
+                divergence_a=rec_a.divergence,
+                divergence_b=rec_b.divergence,
+                rate_a=rec_a.rate,
+                rate_b=rec_b.rate,
+                t_statistic=t_stat,
+            )
+        )
+    shifts.sort(key=lambda s: -abs(s.shift))
+    return shifts[:k]
+
+
+def regressions(
+    result_a: PatternDivergenceResult,
+    result_b: PatternDivergenceResult,
+    k: int = 10,
+    min_t: float = 2.0,
+) -> list[PatternShift]:
+    """Patterns where model B diverges *more* than model A, significantly.
+
+    The "did my new model get worse anywhere?" query: positive-shift
+    patterns filtered by significance, largest increase first.
+    """
+    worse = [
+        s
+        for s in compare_results(result_a, result_b, k=10**9, min_t=min_t)
+        if abs(s.divergence_b) > abs(s.divergence_a)
+    ]
+    worse.sort(key=lambda s: -(abs(s.divergence_b) - abs(s.divergence_a)))
+    return worse[:k]

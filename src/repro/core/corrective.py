@@ -1,0 +1,93 @@
+"""Corrective items (paper Def. 4.2, Table 3).
+
+An item ``α ∉ I`` is *corrective* for pattern ``I`` when adding it
+shrinks the divergence in absolute value: ``|Δ(I ∪ α)| < |Δ(I)|``. The
+corrective factor is the shrinkage ``|Δ(I)| − |Δ(I ∪ α)|``. Detecting
+corrective items requires the exhaustive exploration: a pruned search
+that stops at divergent patterns never sees the corrected supersets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.items import Item, Itemset
+from repro.core.result import PatternDivergenceResult
+from repro.core.significance import beta_moments, welch_t_statistic
+
+
+@dataclass(frozen=True)
+class CorrectiveItem:
+    """One corrective observation: item ``item`` corrects pattern ``base``."""
+
+    base: Itemset
+    item: Item
+    base_divergence: float
+    corrected_divergence: float
+    corrective_factor: float
+    t_statistic: float
+
+    def __str__(self) -> str:
+        return (
+            f"({self.base}) + {self.item}: "
+            f"Δ {self.base_divergence:+.3f} -> {self.corrected_divergence:+.3f} "
+            f"(c_f={self.corrective_factor:.3f}, t={self.t_statistic:.1f})"
+        )
+
+
+def find_corrective_items(
+    result: PatternDivergenceResult,
+    k: int = 10,
+    min_factor: float = 0.0,
+) -> list[CorrectiveItem]:
+    """Top-``k`` corrective items across all frequent patterns.
+
+    Scans every frequent itemset ``K`` and every ``α ∈ K``, comparing
+    ``|Δ(K)|`` against ``|Δ(K \\ α)|``; ranked by corrective factor.
+    The reported ``t`` is the Welch statistic between the Beta posteriors
+    of the base and corrected patterns, measuring how significant the
+    correction itself is.
+    """
+    found: list[CorrectiveItem] = []
+    for key in result.frequent:
+        if len(key) < 2:
+            continue  # the base pattern must be non-empty
+        div_k = result.divergence_of_key(key)
+        if math.isnan(div_k):
+            continue
+        for alpha in key:
+            base_key = key - {alpha}
+            div_base = result.divergence_of_key(base_key)
+            if math.isnan(div_base):
+                continue
+            factor = abs(div_base) - abs(div_k)
+            if factor <= min_factor:
+                continue
+            base_counts = result.frequent.counts(base_key)
+            corr_counts = result.frequent.counts(key)
+            mu_b, var_b = beta_moments(int(base_counts[1]), int(base_counts[2]))
+            mu_c, var_c = beta_moments(int(corr_counts[1]), int(corr_counts[2]))
+            found.append(
+                CorrectiveItem(
+                    base=result.itemset_of(base_key),
+                    item=result.item_of(alpha),
+                    base_divergence=div_base,
+                    corrected_divergence=div_k,
+                    corrective_factor=factor,
+                    t_statistic=welch_t_statistic(mu_b, var_b, mu_c, var_c),
+                )
+            )
+    found.sort(key=lambda c: c.corrective_factor, reverse=True)
+    return found[:k]
+
+
+def is_corrective(
+    result: PatternDivergenceResult, base: Itemset, item: Item
+) -> bool:
+    """Whether ``item`` is corrective for ``base`` (both must be frequent)."""
+    div_base = result.divergence_of(base)
+    div_ext = result.divergence_of(base.union(item))
+    if math.isnan(div_base) or math.isnan(div_ext):
+        return False
+    return abs(div_ext) < abs(div_base)

@@ -1,0 +1,149 @@
+"""The DivExplorer algorithm (paper Sec. 5, Algorithm 1).
+
+:class:`DivergenceExplorer` wires everything together: it encodes the
+outcome function as one-hot channels, runs an outcome-augmented frequent
+pattern miner (FP-growth by default, Apriori or brute force optionally)
+and returns a :class:`~repro.core.result.PatternDivergenceResult` with
+the divergence of *all* frequent itemsets. The exploration is sound and
+complete up to the support threshold (Thm. 5.1), which is what enables
+global divergence and corrective-item analysis downstream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.outcomes import outcome_channels, outcome_metric
+from repro.core.result import PatternDivergenceResult
+from repro.exceptions import ReproError, SchemaError
+from repro.fpm.miner import mine_frequent
+from repro.fpm.transactions import ItemCatalog, TransactionDataset
+from repro.tabular.table import Table
+
+
+class DivergenceExplorer:
+    """Explore classifier divergence over all frequent data subgroups.
+
+    Parameters
+    ----------
+    table:
+        The discretized dataset. Every analysis attribute must be
+        categorical; use :func:`repro.tabular.discretize_table` first if
+        the data has continuous columns.
+    true_column:
+        Name of the ground-truth column (boolean or 0/1 valued).
+    pred_column:
+        Name of the prediction column. May be omitted when only
+        ground-truth rates (metric ``"posr"``) are analyzed.
+    attributes:
+        The analysis attributes. Defaults to every categorical column
+        except the class columns.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        true_column: str,
+        pred_column: str | None = None,
+        attributes: Sequence[str] | None = None,
+    ) -> None:
+        self.table = table
+        self.true_column = true_column
+        self.pred_column = pred_column
+        self._truth = _class_array(table, true_column)
+        self._pred = _class_array(table, pred_column) if pred_column else None
+
+        reserved = {true_column, pred_column} - {None}
+        if attributes is None:
+            attributes = [
+                n for n in table.categorical_names if n not in reserved
+            ]
+        else:
+            attributes = list(attributes)
+            overlap = reserved & set(attributes)
+            if overlap:
+                raise SchemaError(
+                    f"class columns cannot be analysis attributes: {sorted(overlap)}"
+                )
+        if not attributes:
+            raise SchemaError("no analysis attributes available")
+        bad = [n for n in attributes if not table.column(n).is_categorical]
+        if bad:
+            raise SchemaError(
+                f"attributes must be categorical (discretize first): {bad}"
+            )
+        self.attributes = attributes
+        self.catalog = ItemCatalog(
+            attributes, [table.categorical(n).categories for n in attributes]
+        )
+        self._matrix = table.encoded_matrix(attributes)
+
+    # ------------------------------------------------------------------
+
+    def explore(
+        self,
+        metric: str = "fpr",
+        min_support: float = 0.1,
+        algorithm: str = "fpgrowth",
+        max_length: int | None = None,
+    ) -> PatternDivergenceResult:
+        """Run Algorithm 1 and return the full divergence table.
+
+        Parameters
+        ----------
+        metric:
+            One of the built-in outcome metrics
+            (:data:`repro.core.outcomes.OUTCOME_METRICS`), e.g. ``"fpr"``,
+            ``"fnr"``, ``"error"``, ``"accuracy"``, ``"posr"``.
+        min_support:
+            The support threshold ``s`` — the single algorithm parameter.
+        algorithm:
+            FPM backend: ``"fpgrowth"`` (default), ``"apriori"`` or
+            ``"bruteforce"``.
+        max_length:
+            Optional cap on itemset length (all lengths by default).
+        """
+        outcome = self.outcome_array(metric)
+        channels = outcome_channels(outcome)
+        dataset = TransactionDataset(self._matrix, self.catalog, channels)
+        frequent = mine_frequent(
+            dataset, min_support, algorithm=algorithm, max_length=max_length
+        )
+        return PatternDivergenceResult(frequent, self.catalog, metric, min_support)
+
+    def outcome_array(self, metric: str) -> np.ndarray:
+        """Evaluate the named outcome function on every instance."""
+        fn = outcome_metric(metric)
+        if self._pred is None:
+            if metric not in ("posr",):
+                raise ReproError(
+                    f"metric {metric!r} needs a prediction column; "
+                    "only 'posr' works without one"
+                )
+            pred = self._truth  # unused by posr but required by signature
+        else:
+            pred = self._pred
+        return fn(self._truth, pred)
+
+
+def _class_array(table: Table, name: str) -> np.ndarray:
+    """Extract a boolean class array from a 0/1 or boolean column."""
+    col = table.column(name)
+    if col.is_continuous:
+        values = np.asarray(table.continuous(name).values)
+    else:
+        values = np.asarray(table.categorical(name).values_as_objects())
+    try:
+        as_float = values.astype(float)
+    except (TypeError, ValueError):
+        raise SchemaError(
+            f"class column {name!r} must be boolean or 0/1, got {values[:3]!r}"
+        ) from None
+    uniq = np.unique(as_float)
+    if not np.all(np.isin(uniq, [0.0, 1.0])):
+        raise SchemaError(
+            f"class column {name!r} must be boolean or 0/1, got values {uniq[:5]}"
+        )
+    return as_float.astype(bool)

@@ -1,0 +1,138 @@
+"""Natural-language summaries of divergence findings.
+
+Turns the numeric outputs — pattern records, Shapley contributions,
+corrective items, comparison shifts — into the sentences a model-audit
+report or a PR comment would contain. Deterministic templates, no
+generation: the numbers always come straight from the result objects.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.compare import PatternShift
+from repro.core.corrective import CorrectiveItem
+from repro.core.items import Item, Itemset
+from repro.core.result import PatternDivergenceResult, PatternRecord
+
+_METRIC_PHRASES = {
+    "fpr": "false-positive rate",
+    "fnr": "false-negative rate",
+    "error": "error rate",
+    "accuracy": "accuracy",
+    "tpr": "true-positive rate",
+    "tnr": "true-negative rate",
+    "ppv": "precision",
+    "fdr": "false-discovery rate",
+    "for": "false-omission rate",
+    "npv": "negative predictive value",
+    "posr": "positive rate",
+    "predr": "predicted-positive rate",
+}
+
+
+def metric_phrase(metric: str) -> str:
+    """Readable name of a metric id."""
+    return _METRIC_PHRASES.get(metric, metric)
+
+
+def describe_pattern(
+    result: PatternDivergenceResult, record: PatternRecord
+) -> str:
+    """One-sentence description of a divergent pattern."""
+    phrase = metric_phrase(result.metric)
+    if math.isnan(record.divergence):
+        return (
+            f"For instances with {record.itemset} "
+            f"({record.support:.0%} of the data), the {phrase} is undefined "
+            f"(no in-scope instances)."
+        )
+    direction = "higher" if record.divergence > 0 else "lower"
+    points = abs(record.divergence) * 100
+    confidence = _confidence_phrase(record.t_statistic)
+    return (
+        f"For instances with {record.itemset} "
+        f"({record.support:.0%} of the data), the {phrase} is "
+        f"{record.rate:.1%} — {points:.1f} points {direction} than the "
+        f"overall {result.global_rate:.1%} ({confidence}, t={record.t_statistic:.1f})."
+    )
+
+
+def describe_contributions(
+    pattern: Itemset, contributions: dict[Item, float]
+) -> str:
+    """Summarize which items of a pattern drive its divergence."""
+    if not contributions:
+        return "The empty pattern has no item contributions."
+    ranked = sorted(contributions.items(), key=lambda kv: -abs(kv[1]))
+    total = sum(contributions.values())
+    leader, leader_value = ranked[0]
+    parts = [
+        f"Within ({pattern}), {leader} carries the largest share of the "
+        f"divergence ({leader_value:+.3f} of {total:+.3f})."
+    ]
+    negatives = [item for item, value in ranked if value < -1e-9]
+    if negatives:
+        listed = ", ".join(str(i) for i in negatives)
+        parts.append(f"{listed} pushes the divergence back toward zero.")
+    marginal = [
+        item
+        for item, value in ranked[1:]
+        if abs(value) < 0.15 * abs(leader_value)
+    ]
+    if marginal:
+        listed = ", ".join(str(i) for i in marginal)
+        parts.append(f"{listed} contributes only marginally.")
+    return " ".join(parts)
+
+
+def describe_corrective(corrective: CorrectiveItem, metric: str) -> str:
+    """Summarize one corrective-item observation."""
+    phrase = metric_phrase(metric)
+    return (
+        f"Adding {corrective.item} to ({corrective.base}) shrinks the "
+        f"{phrase} divergence from {corrective.base_divergence:+.3f} to "
+        f"{corrective.corrected_divergence:+.3f} "
+        f"(corrective factor {corrective.corrective_factor:.3f})."
+    )
+
+
+def describe_shift(shift: PatternShift, metric: str) -> str:
+    """Summarize one model-comparison shift."""
+    phrase = metric_phrase(metric)
+    got = "worse" if abs(shift.divergence_b) > abs(shift.divergence_a) else "better"
+    return (
+        f"On ({shift.itemset}), the {phrase} divergence moved from "
+        f"{shift.divergence_a:+.3f} to {shift.divergence_b:+.3f} "
+        f"({got}; t={shift.t_statistic:.1f})."
+    )
+
+
+def summarize_result(
+    result: PatternDivergenceResult, k: int = 3, epsilon: float | None = 0.05
+) -> str:
+    """Multi-sentence executive summary of an exploration."""
+    phrase = metric_phrase(result.metric)
+    lines = [
+        f"Explored {len(result) - 1} subgroups with support >= "
+        f"{result.min_support:g}; overall {phrase} is {result.global_rate:.1%}."
+    ]
+    records = (
+        result.pruned(epsilon)[:k] if epsilon is not None else result.top_k(k)
+    )
+    for record in records:
+        lines.append(describe_pattern(result, record))
+    corrective = result.corrective_items(1)
+    if corrective and corrective[0].corrective_factor > 0.02:
+        lines.append(describe_corrective(corrective[0], result.metric))
+    return "\n".join(lines)
+
+
+def _confidence_phrase(t_statistic: float) -> str:
+    if t_statistic >= 5:
+        return "overwhelming evidence"
+    if t_statistic >= 3:
+        return "strong evidence"
+    if t_statistic >= 2:
+        return "moderate evidence"
+    return "weak evidence"

@@ -1,0 +1,109 @@
+"""Global item divergence (paper Def. 4.3, Eq. 6/8).
+
+The global divergence of an itemset ``I`` generalizes the Shapley value
+to the itemset lattice: it aggregates the marginal effect of adding
+``I`` to every context ``J`` over disjoint attributes, weighted by
+
+    |B|! (|A|-|B|-|I|)! / ( |A|!  Π_{b ∈ B ∪ attr(I)} m_b )
+
+where ``B = attr(J)`` and ``m_b`` the domain size of attribute ``b``.
+The support-bounded approximation (Eq. 8) restricts the sum to the
+contexts whose extension ``J ∪ I`` is frequent, all of which are
+available from the complete exploration.
+
+The single-item case — the paper's headline "global item divergence" —
+is computed for *all* items in one pass over the frequent-itemset table.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+
+from repro.core.items import Item, Itemset
+from repro.core.result import PatternDivergenceResult
+from repro.exceptions import ReproError
+
+
+def global_item_divergence(
+    result: PatternDivergenceResult,
+) -> dict[Item, float]:
+    """``Δ̃^g(α, s)`` for every frequent item ``α``, in one lattice pass.
+
+    For each frequent itemset ``K`` and each ``α ∈ K``, the context is
+    ``J = K \\ {α}`` (``|B| = |K| - 1``) and the term contributes
+    ``w(K) · [Δ(K) − Δ(J)]`` to the global divergence of ``α``, where
+    the weight ``w(K)`` depends only on ``|K|`` and the cardinalities of
+    ``attr(K)``.
+    """
+    n_attrs = len(result.catalog.attributes)
+    fact = [factorial(i) for i in range(n_attrs + 1)]
+    n_fact = fact[n_attrs]
+    cards = result.catalog.cardinalities
+    column_of = result.catalog.column_of
+
+    totals: dict[int, float] = {}
+    for key in result.frequent:
+        k = len(key)
+        if k == 0 or k > n_attrs:
+            continue
+        prod_m = 1
+        for item_id in key:
+            prod_m *= cards[column_of(item_id)]
+        weight = fact[k - 1] * fact[n_attrs - k] / (n_fact * prod_m)
+        div_k = result.divergence_or_zero(key)
+        for alpha in key:
+            div_j = result.divergence_or_zero(key - {alpha})
+            totals[alpha] = totals.get(alpha, 0.0) + weight * (div_k - div_j)
+    return {result.item_of(a): v for a, v in sorted(totals.items())}
+
+
+def global_divergence_of_itemset(
+    result: PatternDivergenceResult, itemset: Itemset
+) -> float:
+    """``Δ̃^g(I, s)`` of an arbitrary (frequent) itemset ``I`` (Eq. 8)."""
+    target = result.key_of(itemset)
+    if target not in result.frequent:
+        raise ReproError(
+            f"pattern ({itemset}) is not frequent at support {result.min_support}"
+        )
+    size_i = len(target)
+    if size_i == 0:
+        return 0.0
+    n_attrs = len(result.catalog.attributes)
+    fact = [factorial(i) for i in range(n_attrs + 1)]
+    n_fact = fact[n_attrs]
+    cards = result.catalog.cardinalities
+    column_of = result.catalog.column_of
+
+    total = 0.0
+    for key in result.frequent:
+        if not target <= key:
+            continue
+        context = key - target
+        size_b = len(context)
+        if size_b + size_i > n_attrs:
+            continue
+        prod_m = 1
+        for item_id in key:  # attrs of B ∪ attr(I) == attrs of K
+            prod_m *= cards[column_of(item_id)]
+        weight = fact[size_b] * fact[n_attrs - size_b - size_i] / (n_fact * prod_m)
+        total += weight * (
+            result.divergence_or_zero(key) - result.divergence_or_zero(context)
+        )
+    return total
+
+
+def individual_item_divergence(
+    result: PatternDivergenceResult,
+) -> dict[Item, float]:
+    """Plain per-item divergence ``Δ(α)`` for every frequent item.
+
+    This is the naïve "in isolation" measurement the paper contrasts
+    global divergence against (Sec. 4.4).
+    """
+    out: dict[Item, float] = {}
+    for item_id in range(result.catalog.n_items):
+        key = frozenset((item_id,))
+        if key in result.frequent:
+            out[result.item_of(item_id)] = result.divergence_of_key(key)
+    return out

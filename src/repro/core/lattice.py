@@ -1,0 +1,124 @@
+"""Itemset lattice exploration (paper Sec. 6.4, Fig. 11).
+
+For a divergent pattern of interest ``I``, the lattice contains every
+subset of ``I`` as a node (root: empty itemset, leaf: ``I`` itself) with
+edges for single-item extensions. Nodes carry their divergence and
+support; the lattice flags *corrective* nodes — subsets reached by an
+edge that shrinks absolute divergence — and nodes above a user-chosen
+divergence threshold, mirroring the highlighting of the DivExplorer UI.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.core.items import Itemset
+from repro.core.result import PatternDivergenceResult
+from repro.exceptions import ReproError
+
+
+class DivergenceLattice:
+    """The subset lattice of one frequent pattern, as a networkx DiGraph.
+
+    Node keys are :class:`Itemset`; node attributes:
+
+    - ``divergence``: ``Δ_f`` of the subset,
+    - ``support``: relative support,
+    - ``corrective``: True when *some* incoming edge shrinks ``|Δ|``,
+    - edge attribute ``delta``: divergence change along the edge.
+    """
+
+    def __init__(self, result: PatternDivergenceResult, itemset: Itemset) -> None:
+        key = result.key_of(itemset)
+        if key not in result.frequent:
+            raise ReproError(
+                f"pattern ({itemset}) is not frequent at support "
+                f"{result.min_support}"
+            )
+        self.result = result
+        self.itemset = itemset
+        self.graph = nx.DiGraph()
+        for subset in itemset.subsets():
+            sub_key = result.key_of(subset)
+            div = result.divergence_of_key(sub_key)
+            self.graph.add_node(
+                subset,
+                divergence=div,
+                support=result.frequent.support(sub_key),
+                corrective=False,
+            )
+        for subset in itemset.subsets(proper=True):
+            remaining = [it for it in itemset if it not in subset]
+            for item in remaining:
+                child = subset.union(item)
+                d_parent = self.graph.nodes[subset]["divergence"]
+                d_child = self.graph.nodes[child]["divergence"]
+                delta = d_child - d_parent
+                self.graph.add_edge(subset, child, delta=delta)
+                if (
+                    not math.isnan(d_parent)
+                    and not math.isnan(d_child)
+                    and abs(d_child) < abs(d_parent)
+                ):
+                    self.graph.nodes[child]["corrective"] = True
+
+    # ------------------------------------------------------------------
+
+    def levels(self) -> list[list[Itemset]]:
+        """Nodes grouped by itemset length, root first."""
+        by_len: dict[int, list[Itemset]] = {}
+        for node in self.graph.nodes:
+            by_len.setdefault(len(node), []).append(node)
+        return [sorted(by_len[k], key=str) for k in sorted(by_len)]
+
+    def corrective_nodes(self) -> list[Itemset]:
+        """Subsets where a corrective phenomenon is observable."""
+        return [
+            n for n, data in self.graph.nodes(data=True) if data["corrective"]
+        ]
+
+    def divergent_nodes(self, threshold: float) -> list[Itemset]:
+        """Subsets with divergence >= ``threshold`` (UI red squares)."""
+        return [
+            n
+            for n, data in self.graph.nodes(data=True)
+            if not math.isnan(data["divergence"])
+            and data["divergence"] >= threshold
+        ]
+
+    def divergence(self, subset: Itemset) -> float:
+        """Divergence of one lattice node."""
+        return float(self.graph.nodes[subset]["divergence"])
+
+    def render(self, threshold: float | None = None) -> str:
+        """Plain-text rendering, one lattice level per paragraph.
+
+        Corrective nodes are marked ``<>`` (the UI's rhombus); nodes
+        above ``threshold`` are marked ``[]`` (the UI's red square).
+        """
+        lines: list[str] = []
+        for level in self.levels():
+            row = []
+            for node in level:
+                data = self.graph.nodes[node]
+                marker = ""
+                if data["corrective"]:
+                    marker = "<>"
+                if (
+                    threshold is not None
+                    and not math.isnan(data["divergence"])
+                    and data["divergence"] >= threshold
+                ):
+                    marker += "[]"
+                row.append(f"{marker}({node}: Δ={data['divergence']:+.3f})")
+            lines.append("   ".join(row))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DivergenceLattice(pattern=({self.itemset}), "
+            f"nodes={self.graph.number_of_nodes()}, "
+            f"corrective={len(self.corrective_nodes())})"
+        )

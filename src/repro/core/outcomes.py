@@ -1,0 +1,212 @@
+"""Outcome functions ``o : D -> {T, F, ⊥}`` (paper Def. 3.2).
+
+An outcome function maps every instance to TRUE, FALSE or BOTTOM; the
+positive outcome rate of a subset is ``#T / (#T + #F)`` with BOTTOM rows
+excluded. Each supported classification metric (FPR, FNR, accuracy, ...)
+is expressed as such a function of the ground truth ``v`` and prediction
+``u``, which is what lets DivExplorer treat the classifier as a black
+box and mine divergence with Boolean tallies only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+# Encoded outcome values.
+TRUE: int = 1
+FALSE: int = 0
+BOTTOM: int = -1
+
+
+@dataclass(frozen=True)
+class OutcomeFunction:
+    """A named outcome function with its builder.
+
+    ``build(v, u)`` returns an ``int8`` array over instances with values
+    in ``{TRUE, FALSE, BOTTOM}``. ``description`` documents the rate the
+    positive outcome rate corresponds to.
+    """
+
+    name: str
+    description: str
+    build: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, v: np.ndarray, u: np.ndarray) -> np.ndarray:
+        truth = _as_bool(v, "ground truth")
+        pred = _as_bool(u, "prediction")
+        if truth.shape != pred.shape:
+            raise ReproError(
+                f"ground truth ({truth.shape}) and prediction ({pred.shape}) "
+                "must have the same shape"
+            )
+        return self.build(truth, pred)
+
+
+def _as_bool(arr: np.ndarray, what: str) -> np.ndarray:
+    a = np.asarray(arr)
+    if a.dtype != bool:
+        uniq = np.unique(a)
+        if not np.all(np.isin(uniq, [0, 1])):
+            raise ReproError(f"{what} must be boolean or 0/1, got values {uniq[:5]}")
+        a = a.astype(bool)
+    return a
+
+
+def _encode(true_mask: np.ndarray, false_mask: np.ndarray) -> np.ndarray:
+    """Combine masks into the int8 outcome encoding; the rest is BOTTOM."""
+    out = np.full(true_mask.shape, BOTTOM, dtype=np.int8)
+    out[false_mask] = FALSE
+    out[true_mask] = TRUE
+    return out
+
+
+def _fpr(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """False positive rate: rate of wrong positives among true negatives."""
+    return _encode(u & ~v, ~u & ~v)
+
+
+def _fnr(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """False negative rate: rate of wrong negatives among true positives."""
+    return _encode(~u & v, u & v)
+
+
+def _error(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Misclassification (error) rate: no BOTTOM instances."""
+    return _encode(u != v, u == v)
+
+
+def _accuracy(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Accuracy: complement of the error rate."""
+    return _encode(u == v, u != v)
+
+
+def _tpr(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """True positive rate (recall) among true positives."""
+    return _encode(u & v, ~u & v)
+
+
+def _tnr(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """True negative rate among true negatives."""
+    return _encode(~u & ~v, u & ~v)
+
+
+def _ppv(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Positive predictive value (precision) among predicted positives."""
+    return _encode(u & v, u & ~v)
+
+
+def _fdr(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """False discovery rate among predicted positives."""
+    return _encode(u & ~v, u & v)
+
+
+def _fomr(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """False omission rate among predicted negatives."""
+    return _encode(~u & v, ~u & ~v)
+
+
+def _npv(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Negative predictive value among predicted negatives."""
+    return _encode(~u & ~v, ~u & v)
+
+
+def _positive_rate(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Ground-truth positive rate (``o(x) = v(x)``; paper Sec. 3.2)."""
+    return _encode(v, ~v)
+
+
+def _predicted_positive_rate(v: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Predicted positive rate (``o(x) = u(x)``)."""
+    return _encode(u, ~u)
+
+
+_BUILTIN_METRIC_NAMES = frozenset(
+    {"fpr", "fnr", "error", "accuracy", "tpr", "tnr", "ppv", "fdr", "for",
+     "npv", "posr", "predr"}
+)
+
+OUTCOME_METRICS: dict[str, OutcomeFunction] = {
+    fn.name: fn
+    for fn in (
+        OutcomeFunction("fpr", "false positive rate", _fpr),
+        OutcomeFunction("fnr", "false negative rate", _fnr),
+        OutcomeFunction("error", "misclassification error rate", _error),
+        OutcomeFunction("accuracy", "classification accuracy", _accuracy),
+        OutcomeFunction("tpr", "true positive rate", _tpr),
+        OutcomeFunction("tnr", "true negative rate", _tnr),
+        OutcomeFunction("ppv", "positive predictive value", _ppv),
+        OutcomeFunction("fdr", "false discovery rate", _fdr),
+        OutcomeFunction("for", "false omission rate", _fomr),
+        OutcomeFunction("npv", "negative predictive value", _npv),
+        OutcomeFunction("posr", "ground-truth positive rate", _positive_rate),
+        OutcomeFunction("predr", "predicted positive rate", _predicted_positive_rate),
+    )
+}
+
+
+def outcome_metric(name: str) -> OutcomeFunction:
+    """Look up a built-in or registered outcome function by name.
+
+    Raises ``ReproError`` listing the available metrics when unknown.
+    """
+    try:
+        return OUTCOME_METRICS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown metric {name!r}; available: {sorted(OUTCOME_METRICS)}"
+        ) from None
+
+
+def register_metric(
+    name: str,
+    description: str,
+    build: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    overwrite: bool = False,
+) -> OutcomeFunction:
+    """Register a custom outcome function under ``name``.
+
+    ``build(v, u)`` receives boolean ground-truth and prediction arrays
+    and must return an int8 array over ``{TRUE, FALSE, BOTTOM}`` (use
+    the module's :func:`_encode`-style pattern, or build it directly).
+    Once registered, the metric works everywhere a built-in does —
+    ``DivergenceExplorer.explore``, ``explore_multi``, the CLI and the
+    server.
+    """
+    if name in OUTCOME_METRICS and not overwrite:
+        raise ReproError(
+            f"metric {name!r} already exists; pass overwrite=True to replace"
+        )
+    fn = OutcomeFunction(name, description, build)
+    OUTCOME_METRICS[name] = fn
+    return fn
+
+
+def unregister_metric(name: str) -> None:
+    """Remove a custom metric (built-ins are protected)."""
+    if name in _BUILTIN_METRIC_NAMES:
+        raise ReproError(f"cannot unregister built-in metric {name!r}")
+    OUTCOME_METRICS.pop(name, None)
+
+
+def outcome_channels(outcome: np.ndarray) -> np.ndarray:
+    """One-hot (T, F) channel matrix of an encoded outcome array.
+
+    BOTTOM counts are derivable as ``support_count - T - F``, so only two
+    channels are carried through mining (Algorithm 1, line 2).
+    """
+    out = np.asarray(outcome)
+    return np.column_stack([(out == TRUE), (out == FALSE)]).astype(np.int64)
+
+
+def positive_rate(t_count: int, f_count: int) -> float:
+    """``f_o`` of Def. 3.2: ``T / (T + F)``; NaN when the subset has no
+    non-BOTTOM instances."""
+    denom = t_count + f_count
+    if denom == 0:
+        return float("nan")
+    return t_count / denom

@@ -1,0 +1,61 @@
+"""ε-redundancy pruning of divergent itemsets (paper Sec. 3.5).
+
+A pattern ``I`` is pruned when some item ``α ∈ I`` has absolute marginal
+contribution at most ``ε``: ``|Δ(I) − Δ(I \\ α)| ≤ ε``. The shorter
+pattern ``I \\ α`` then already captures the divergence, so dropping
+``I`` compacts the output without losing information (Table 6,
+Fig. 10).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.result import PatternDivergenceResult, PatternRecord
+from repro.exceptions import ReproError
+
+
+def is_redundant(
+    result: PatternDivergenceResult, key: frozenset[int], epsilon: float
+) -> bool:
+    """Whether pattern ``key`` is pruned at threshold ``epsilon``.
+
+    Patterns whose own divergence is undefined (all-BOTTOM support set)
+    are treated as redundant — they carry no rate information.
+    """
+    div_i = result.divergence_of_key(key)
+    if math.isnan(div_i):
+        return True
+    for alpha in key:
+        div_parent = result.divergence_of_key(key - {alpha})
+        if math.isnan(div_parent):
+            continue
+        if abs(div_i - div_parent) <= epsilon:
+            return True
+    return False
+
+
+def prune_redundant(
+    result: PatternDivergenceResult, epsilon: float
+) -> list[PatternRecord]:
+    """All non-redundant, non-empty frequent patterns at threshold ``ε``.
+
+    Returned sorted by decreasing divergence. ``epsilon = 0`` keeps
+    every pattern where each item moves the divergence at all.
+    """
+    if epsilon < 0:
+        raise ReproError(f"epsilon must be >= 0, got {epsilon}")
+    kept = [
+        result.record_for_key(key)
+        for key in result.frequent
+        if len(key) > 0 and not is_redundant(result, key, epsilon)
+    ]
+    kept.sort(key=lambda r: r.divergence, reverse=True)
+    return kept
+
+
+def pruned_count_by_epsilon(
+    result: PatternDivergenceResult, epsilons: list[float]
+) -> dict[float, int]:
+    """Number of surviving patterns per ε (the Fig. 10 sweep)."""
+    return {eps: len(prune_redundant(result, eps)) for eps in epsilons}

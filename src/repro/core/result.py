@@ -1,0 +1,276 @@
+"""Result of a divergence exploration: the ranked pattern table.
+
+:class:`PatternDivergenceResult` wraps the frequent-itemset counts
+produced by Algorithm 1 and exposes every analysis of the paper —
+ranked divergent patterns with significance, Shapley contributions,
+global/individual item divergence, corrective items, redundancy pruning
+and lattice construction — as methods. Itemsets cross the API boundary
+as readable :class:`~repro.core.items.Itemset` objects; internally they
+are frozensets of integer item ids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.core.items import Item, Itemset
+from repro.core.outcomes import positive_rate
+from repro.core.significance import divergence_t_statistic
+from repro.exceptions import ReproError
+from repro.fpm.miner import FrequentItemsets
+from repro.fpm.transactions import ItemCatalog
+
+
+@dataclass(frozen=True)
+class PatternRecord:
+    """One row of the divergence table: an itemset with its statistics."""
+
+    itemset: Itemset
+    support: float
+    support_count: int
+    t_count: int
+    f_count: int
+    rate: float
+    divergence: float
+    t_statistic: float
+
+    @property
+    def length(self) -> int:
+        """Number of items in the pattern."""
+        return len(self.itemset)
+
+
+class PatternDivergenceResult:
+    """All frequent itemsets with divergence for one outcome metric.
+
+    Not constructed directly — obtained from
+    :meth:`repro.core.divergence.DivergenceExplorer.explore`.
+    """
+
+    def __init__(
+        self,
+        frequent: FrequentItemsets,
+        catalog: ItemCatalog,
+        metric: str,
+        min_support: float,
+    ) -> None:
+        self.frequent = frequent
+        self.catalog = catalog
+        self.metric = metric
+        self.min_support = min_support
+        totals = frequent.totals
+        self.n_rows = int(totals[0])
+        self.t_total = int(totals[1])
+        self.f_total = int(totals[2])
+        self.global_rate = positive_rate(self.t_total, self.f_total)
+        # key -> divergence, computed once for all itemsets
+        self._divergence: dict[frozenset[int], float] = {}
+        for key, counts in frequent.items():
+            rate = positive_rate(int(counts[1]), int(counts[2]))
+            self._divergence[key] = rate - self.global_rate
+        self._records: list[PatternRecord] | None = None
+
+    # ------------------------------------------------------------------
+    # itemset translation
+    # ------------------------------------------------------------------
+
+    def key_of(self, itemset: Itemset) -> frozenset[int]:
+        """Encode a readable itemset to internal item ids."""
+        return frozenset(
+            self.catalog.item_id(it.attribute, it.value) for it in itemset
+        )
+
+    def itemset_of(self, key: Iterable[int]) -> Itemset:
+        """Decode internal item ids to a readable itemset."""
+        return Itemset.from_pairs(self.catalog.decode(i) for i in key)
+
+    def item_of(self, item_id: int) -> Item:
+        """Decode one item id."""
+        attr, value = self.catalog.decode(item_id)
+        return Item(attr, value)
+
+    # ------------------------------------------------------------------
+    # per-pattern statistics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.frequent)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return self.key_of(itemset) in self.frequent
+
+    def record_for_key(self, key: frozenset[int]) -> PatternRecord:
+        """Build the full statistics record of one internal key."""
+        counts = self.frequent.counts(key)
+        n, t, f = int(counts[0]), int(counts[1]), int(counts[2])
+        rate = positive_rate(t, f)
+        return PatternRecord(
+            itemset=self.itemset_of(key),
+            support=n / self.n_rows,
+            support_count=n,
+            t_count=t,
+            f_count=f,
+            rate=rate,
+            divergence=rate - self.global_rate,
+            t_statistic=divergence_t_statistic(t, f, self.t_total, self.f_total),
+        )
+
+    def record(self, itemset: Itemset) -> PatternRecord:
+        """Statistics of one pattern (raises if not frequent)."""
+        return self.record_for_key(self.key_of(itemset))
+
+    def divergence_of(self, itemset: Itemset) -> float:
+        """``Δ_f(I)`` of a frequent pattern."""
+        return self.divergence_of_key(self.key_of(itemset))
+
+    def divergence_of_key(self, key: frozenset[int]) -> float:
+        """``Δ_f`` by internal key."""
+        try:
+            return self._divergence[frozenset(key)]
+        except KeyError:
+            raise ReproError(
+                f"pattern {set(key)} is not frequent at support {self.min_support}"
+            ) from None
+
+    def divergence_or_zero(self, key: frozenset[int]) -> float:
+        """``Δ_f`` treating undefined (all-BOTTOM) rates as no divergence.
+
+        Used by the Shapley-style aggregations, where a NaN from an
+        all-BOTTOM subset would otherwise poison every sum it enters.
+        """
+        value = self._divergence.get(frozenset(key))
+        if value is None or math.isnan(value):
+            return 0.0
+        return value
+
+    @property
+    def divergence_map(self) -> dict[frozenset[int], float]:
+        """Read-only view of key -> divergence for all frequent itemsets."""
+        return dict(self._divergence)
+
+    # ------------------------------------------------------------------
+    # the ranked pattern table
+    # ------------------------------------------------------------------
+
+    def records(self, include_empty: bool = False) -> list[PatternRecord]:
+        """All frequent patterns as records (cached)."""
+        if self._records is None:
+            self._records = [
+                self.record_for_key(key)
+                for key in self.frequent
+            ]
+        if include_empty:
+            return list(self._records)
+        return [r for r in self._records if len(r.itemset) > 0]
+
+    def top_k(
+        self,
+        k: int = 10,
+        by: str = "divergence",
+        ascending: bool = False,
+        min_support: float | None = None,
+        max_length: int | None = None,
+    ) -> list[PatternRecord]:
+        """Top-k patterns ranked by a statistic.
+
+        ``by`` is one of ``divergence``, ``abs_divergence``, ``support``,
+        ``t_statistic``, ``rate``. NaN-valued rows are excluded.
+        """
+        rows = self.records()
+        if min_support is not None:
+            rows = [r for r in rows if r.support >= min_support]
+        if max_length is not None:
+            rows = [r for r in rows if r.length <= max_length]
+        key_fn = {
+            "divergence": lambda r: r.divergence,
+            "abs_divergence": lambda r: abs(r.divergence),
+            "support": lambda r: r.support,
+            "t_statistic": lambda r: r.t_statistic,
+            "rate": lambda r: r.rate,
+        }.get(by)
+        if key_fn is None:
+            raise ReproError(f"unknown ranking key {by!r}")
+        rows = [r for r in rows if not math.isnan(key_fn(r))]
+        rows.sort(key=key_fn, reverse=not ascending)
+        return rows[:k]
+
+    # ------------------------------------------------------------------
+    # analyses (delegating to the dedicated modules)
+    # ------------------------------------------------------------------
+
+    def shapley(self, itemset: Itemset) -> dict[Item, float]:
+        """Local item contributions to the pattern's divergence (Def. 4.1)."""
+        from repro.core.shapley import shapley_contributions
+
+        return shapley_contributions(self, itemset)
+
+    def global_item_divergence(self) -> dict[Item, float]:
+        """Global divergence of every frequent item (Def. 4.3, Eq. 8)."""
+        from repro.core.global_divergence import global_item_divergence
+
+        return global_item_divergence(self)
+
+    def individual_item_divergence(self) -> dict[Item, float]:
+        """Plain ``Δ(α)`` of every frequent single item."""
+        from repro.core.global_divergence import individual_item_divergence
+
+        return individual_item_divergence(self)
+
+    def corrective_items(self, k: int = 10) -> list["CorrectiveItem"]:
+        """Top corrective items by corrective factor (Def. 4.2)."""
+        from repro.core.corrective import find_corrective_items
+
+        return find_corrective_items(self, k=k)
+
+    def pruned(self, epsilon: float) -> list[PatternRecord]:
+        """ε-redundancy-pruned pattern table (Sec. 3.5)."""
+        from repro.core.pruning import prune_redundant
+
+        return prune_redundant(self, epsilon)
+
+    def lattice(self, itemset: Itemset) -> "DivergenceLattice":
+        """Subset lattice of a pattern for visual exploration (Sec. 6.4)."""
+        from repro.core.lattice import DivergenceLattice
+
+        return DivergenceLattice(self, itemset)
+
+    def significant(self, alpha: float = 0.05, k: int | None = None
+                    ) -> list[PatternRecord]:
+        """Patterns surviving Benjamini-Hochberg FDR control at ``alpha``."""
+        from repro.core.ranking import significant_patterns
+
+        return significant_patterns(self, alpha=alpha, k=k)
+
+    # ------------------------------------------------------------------
+
+    def frequent_items(self) -> list[Item]:
+        """All single items that are frequent, in catalog order."""
+        out = []
+        for item_id in range(self.catalog.n_items):
+            if frozenset((item_id,)) in self.frequent:
+                out.append(self.item_of(item_id))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternDivergenceResult(metric={self.metric!r}, "
+            f"patterns={len(self)}, min_support={self.min_support}, "
+            f"global_rate={self.global_rate:.4f})"
+        )
+
+
+def records_as_rows(
+    records: Sequence[PatternRecord], divergence_label: str = "div"
+) -> list[dict[str, object]]:
+    """Flatten records into printable row dicts (used by the benches)."""
+    return [
+        {
+            "itemset": str(r.itemset),
+            "sup": round(r.support, 3),
+            divergence_label: round(r.divergence, 3),
+            "t": round(r.t_statistic, 1),
+        }
+        for r in records
+    ]

@@ -1,0 +1,126 @@
+"""JSON serialization of divergence results and lattices.
+
+Lets a divergence exploration be persisted, diffed across model
+versions, or handed to external visualization tooling (the DivExplorer
+demo UI consumes exactly this kind of payload). Round-trip fidelity is
+tested: ``result_from_json(result_to_json(r))`` reproduces every
+pattern's counts, and therefore every derived statistic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.lattice import DivergenceLattice
+from repro.core.result import PatternDivergenceResult
+from repro.exceptions import ReproError
+from repro.fpm.miner import FrequentItemsets
+from repro.fpm.transactions import ItemCatalog
+
+FORMAT_VERSION = 1
+
+
+def result_to_json(result: PatternDivergenceResult) -> str:
+    """Serialize a divergence result (catalog + counts) to JSON."""
+    payload: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "metric": result.metric,
+        "min_support": result.min_support,
+        "n_rows": result.frequent.n_rows,
+        "catalog": {
+            "attributes": result.catalog.attributes,
+            "categories": [
+                [_plain(v) for v in cats] for cats in result.catalog.categories
+            ],
+        },
+        "patterns": [
+            {
+                "items": [int(i) for i in sorted(key)],
+                "counts": [int(c) for c in counts],
+            }
+            for key, counts in result.frequent.items()
+        ],
+    }
+    return json.dumps(payload)
+
+
+def result_from_json(text: str) -> PatternDivergenceResult:
+    """Rebuild a divergence result serialized by :func:`result_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid result JSON: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        catalog = ItemCatalog(
+            payload["catalog"]["attributes"], payload["catalog"]["categories"]
+        )
+        counts = {
+            frozenset(entry["items"]): np.asarray(entry["counts"], dtype=np.int64)
+            for entry in payload["patterns"]
+        }
+        frequent = FrequentItemsets(
+            counts, payload["n_rows"], payload["min_support"]
+        )
+        return PatternDivergenceResult(
+            frequent, catalog, payload["metric"], payload["min_support"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed result JSON: missing {exc}") from exc
+
+
+def lattice_to_dot(lattice: DivergenceLattice, threshold: float | None = None) -> str:
+    """Render a lattice as Graphviz DOT.
+
+    Corrective nodes are drawn as diamonds (the UI's rhombus); nodes at
+    or above ``threshold`` are filled red squares, matching Fig. 11.
+    """
+    lines = [
+        "digraph lattice {",
+        "  rankdir=TB;",
+        '  node [shape=ellipse, fontname="Helvetica"];',
+    ]
+    ids = {node: f"n{i}" for i, node in enumerate(lattice.graph.nodes)}
+    for node, data in lattice.graph.nodes(data=True):
+        label = f"{node}\\nΔ={data['divergence']:+.3f}"
+        attrs = [f'label="{label}"']
+        if data["corrective"]:
+            attrs.append("shape=diamond")
+            attrs.append('color="steelblue"')
+        if (
+            threshold is not None
+            and not _is_nan(data["divergence"])
+            and data["divergence"] >= threshold
+        ):
+            attrs.append("shape=box")
+            attrs.append('style=filled fillcolor="salmon"')
+        lines.append(f"  {ids[node]} [{', '.join(attrs)}];")
+    for parent, child, data in lattice.graph.edges(data=True):
+        lines.append(
+            f'  {ids[parent]} -> {ids[child]} [label="{data["delta"]:+.3f}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _plain(value: Any) -> Any:
+    """Coerce numpy scalars to plain JSON-compatible Python values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def _is_nan(x: float) -> bool:
+    return x != x

@@ -1,0 +1,23 @@
+"""Synthetic dataset generators (substrate).
+
+The paper evaluates on COMPAS (ProPublica) and five UCI datasets, none
+of which can be downloaded in this offline environment. Each generator
+here reproduces the published schema, the cardinalities of Table 4 and
+the statistical structure that drives the paper's findings (documented
+per generator). The ``artificial`` dataset follows the paper's exact
+construction (Sec. 4.4).
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    LoadedDataset,
+    dataset_characteristics,
+    load,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "LoadedDataset",
+    "dataset_characteristics",
+    "load",
+]

@@ -1,0 +1,159 @@
+"""Synthetic *adult* (census income) dataset.
+
+Substitute for the UCI Adult dataset [17]: 45,222 instances, 11
+attributes (4 continuous: age, capital-gain, capital-loss,
+hours-per-week; 7 categorical: workclass, education, marital-status,
+occupation, relationship, race, sex). The class is income > 50K
+(positive rate ≈ 0.25).
+
+The generator plants the real dataset's dominant correlations — income
+with marriage, professional/executive occupations, education, age,
+hours and capital gains; relationship/marital-status/sex coherence;
+education/occupation coherence — so that a classifier trained on it
+over-predicts high income for married professionals (the paper's FPR
+patterns, Table 5/6, Fig. 8a/9) and under-predicts for young unmarried
+low-hours workers (the FNR patterns, Fig. 8b, Fig. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.registry_types import LoadedDataset
+from repro.datasets.sampling import bernoulli, sigmoid
+from repro.exceptions import DatasetError
+from repro.tabular.discretize import BinSpec, discretize_table
+from repro.tabular.table import Table
+
+N_ROWS = 45_222
+
+AGE_SPEC = BinSpec(
+    method="edges", edges=(28.0, 37.0, 48.0), labels=("<=28", "29-37", "38-48", ">48")
+)
+GAIN_SPEC = BinSpec(method="edges", edges=(0.5,), labels=("0", ">0"))
+LOSS_SPEC = BinSpec(method="edges", edges=(0.5,), labels=("0", ">0"))
+HOURS_SPEC = BinSpec(method="edges", edges=(40.0,), labels=("<=40", ">40"))
+
+EDUCATIONS = ["Dropout", "HS", "Some-college", "Assoc", "Bachelors", "Masters"]
+OCCUPATIONS = ["Service", "Admin", "Craft", "Sales", "Machine-op", "Transport",
+               "Exec", "Prof"]
+MARITAL = ["Married", "Unmarried", "Divorced", "Widowed"]
+RELATIONSHIPS = ["Husband", "Wife", "Not-in-family", "Own-child", "Unmarried",
+                 "Other-relative"]
+
+
+def generate(seed: int = 0, n_rows: int = N_ROWS) -> LoadedDataset:
+    """Generate the adult-like dataset (no prediction column; attach one
+    with :func:`repro.datasets.load`, which trains a classifier)."""
+    if n_rows < 50:
+        raise DatasetError("n_rows too small for a meaningful dataset")
+    rng = np.random.default_rng(seed)
+
+    age = np.clip(rng.normal(38.5, 13.5, n_rows), 17, 90)
+    sex_male = rng.random(n_rows) < 0.68
+    race = rng.choice(["White", "Black", "Other"], size=n_rows, p=[0.86, 0.09, 0.05])
+    workclass = rng.choice(
+        ["Private", "Self-emp", "Gov", "Other"], size=n_rows, p=[0.74, 0.11, 0.13, 0.02]
+    )
+
+    # Education, then occupation conditioned on education level.
+    edu_idx = rng.choice(
+        len(EDUCATIONS), size=n_rows, p=[0.13, 0.33, 0.22, 0.08, 0.17, 0.07]
+    )
+    edu_level = edu_idx.astype(float)  # 0=Dropout .. 5=Masters
+    occ_logits = np.zeros((n_rows, len(OCCUPATIONS)))
+    occ_logits[:, 6] = 0.55 * (edu_level - 2)  # Exec
+    occ_logits[:, 7] = 0.85 * (edu_level - 2)  # Prof
+    occ_logits[:, 0] = -0.4 * (edu_level - 2)  # Service
+    occ_logits += rng.gumbel(0, 1, size=occ_logits.shape)
+    occ_idx = occ_logits.argmax(axis=1)
+
+    # Marital status depends on age; relationship follows marital + sex.
+    p_married = sigmoid(0.09 * (age - 30)) * 0.75
+    married = rng.random(n_rows) < p_married
+    rest = rng.choice(["Unmarried", "Divorced", "Widowed"], size=n_rows,
+                      p=[0.60, 0.28, 0.12])
+    young = age <= 28
+    rest = np.where(young & (rest == "Widowed"), "Unmarried", rest)
+    marital = np.where(married, "Married", rest)
+    relationship = np.empty(n_rows, dtype=object)
+    relationship[married & sex_male] = "Husband"
+    relationship[married & ~sex_male] = "Wife"
+    single = ~married
+    rel_single = rng.choice(
+        ["Not-in-family", "Own-child", "Unmarried", "Other-relative"],
+        size=n_rows, p=[0.48, 0.28, 0.18, 0.06],
+    )
+    # Own-child only plausible for the young.
+    rel_single = np.where(
+        (rel_single == "Own-child") & (age > 32), "Not-in-family", rel_single
+    )
+    relationship[single] = rel_single[single]
+
+    hours = np.clip(rng.normal(40.5, 11.0, n_rows) + 3.0 * married, 1, 99)
+    gain_draw = rng.random(n_rows)
+    gain = np.where(gain_draw < 0.085, rng.gamma(2.0, 3000.0, n_rows), 0.0)
+    loss = np.where(rng.random(n_rows) < 0.047, rng.gamma(2.0, 900.0, n_rows), 0.0)
+
+    occ_prof = occ_idx == 7
+    occ_exec = occ_idx == 6
+    edu_bach = edu_idx == 4
+    edu_masters = edu_idx == 5
+
+    z_income = (
+        -3.1
+        + 1.55 * married
+        + 0.95 * occ_prof
+        + 0.85 * occ_exec
+        + 0.65 * edu_bach
+        + 1.05 * edu_masters
+        + 0.30 * (edu_idx == 3)
+        + 0.030 * (age - 38)
+        - 0.00045 * (age - 50) ** 2
+        + 0.045 * (hours - 40)
+        + 2.6 * (gain > 5000)
+        + 1.1 * ((gain > 0) & (gain <= 5000))
+        + 0.8 * (loss > 0)
+        + 0.35 * sex_male
+        + 0.15 * (race == "White")
+    )
+    income = bernoulli(rng, sigmoid(z_income))
+
+    raw = Table.from_dict(
+        {
+            "age": age,
+            "workclass": list(workclass),
+            "edu": [EDUCATIONS[i] for i in edu_idx],
+            "status": list(marital),
+            "occup": [OCCUPATIONS[i] for i in occ_idx],
+            "relation": [str(r) for r in relationship],
+            "race": list(race),
+            "sex": np.where(sex_male, "Male", "Female").tolist(),
+            "gain": gain,
+            "loss": loss,
+            "hoursXW": hours,
+            "class": income.astype(int),
+        }
+    )
+    table = discretize_table(
+        raw,
+        specs={
+            "age": AGE_SPEC,
+            "gain": GAIN_SPEC,
+            "loss": LOSS_SPEC,
+            "hoursXW": HOURS_SPEC,
+        },
+    )
+    return LoadedDataset(
+        name="adult",
+        table=table,
+        raw_table=raw,
+        true_column="class",
+        pred_column=None,
+        attributes=[
+            "age", "workclass", "edu", "status", "occup", "relation",
+            "race", "sex", "gain", "loss", "hoursXW",
+        ],
+        n_continuous=4,
+        n_categorical=7,
+    )

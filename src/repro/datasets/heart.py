@@ -1,0 +1,95 @@
+"""Synthetic *heart* (Cleveland heart disease) dataset.
+
+Substitute for the UCI heart-disease data [17]: 296 patients, 13
+attributes (5 continuous, 8 categorical), class = presence of heart
+disease. The smallest dataset of the evaluation; used in the
+performance experiments. The generator matches the published schema and
+plants the classic clinical signal (chest-pain type, exercise-induced
+angina, vessel count, thalassemia).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.registry_types import LoadedDataset
+from repro.datasets.sampling import bernoulli, sigmoid
+from repro.exceptions import DatasetError
+from repro.tabular.discretize import discretize_table
+from repro.tabular.table import Table
+
+N_ROWS = 296
+
+
+def generate(seed: int = 0, n_rows: int = N_ROWS) -> LoadedDataset:
+    """Generate the heart-disease-like dataset (predictions attached by
+    :func:`repro.datasets.load`)."""
+    if n_rows < 30:
+        raise DatasetError("n_rows too small for a meaningful dataset")
+    rng = np.random.default_rng(seed)
+
+    age = np.clip(rng.normal(54.5, 9.0, n_rows), 29, 77)
+    sex = rng.choice(["Male", "Female"], size=n_rows, p=[0.68, 0.32])
+    cp = rng.choice(
+        ["typical", "atypical", "non-anginal", "asymptomatic"],
+        size=n_rows, p=[0.08, 0.17, 0.28, 0.47],
+    )
+    trestbps = np.clip(rng.normal(131, 17, n_rows), 94, 200)
+    chol = np.clip(rng.normal(247, 51, n_rows), 126, 564)
+    fbs = rng.choice(["no", "yes"], size=n_rows, p=[0.85, 0.15])
+    restecg = rng.choice(
+        ["normal", "st-t", "hypertrophy"], size=n_rows, p=[0.49, 0.01, 0.50]
+    )
+    thalach = np.clip(rng.normal(149, 22, n_rows), 71, 202)
+    exang = rng.choice(["no", "yes"], size=n_rows, p=[0.67, 0.33])
+    oldpeak = np.clip(rng.gamma(1.2, 0.9, n_rows), 0, 6.2)
+    slope = rng.choice(["up", "flat", "down"], size=n_rows, p=[0.47, 0.46, 0.07])
+    ca = rng.choice(["0", "1", "2", "3"], size=n_rows, p=[0.58, 0.22, 0.13, 0.07])
+    thal = rng.choice(
+        ["normal", "fixed", "reversible"], size=n_rows, p=[0.55, 0.06, 0.39]
+    )
+
+    z_disease = (
+        -1.3
+        + 1.5 * (cp == "asymptomatic")
+        + 1.0 * (exang == "yes")
+        + 0.9 * (thal == "reversible")
+        + 0.8 * (ca != "0")
+        + 0.55 * (slope == "flat")
+        + 0.02 * (age - 54)
+        - 0.018 * (thalach - 150)
+        + 0.45 * (oldpeak - 1.0)
+        + 0.5 * (sex == "Male")
+    )
+    disease = bernoulli(rng, sigmoid(z_disease))
+
+    raw = Table.from_dict(
+        {
+            "age": age,
+            "sex": list(sex),
+            "cp": list(cp),
+            "trestbps": trestbps,
+            "chol": chol,
+            "fbs": list(fbs),
+            "restecg": list(restecg),
+            "thalach": thalach,
+            "exang": list(exang),
+            "oldpeak": oldpeak,
+            "slope": list(slope),
+            "ca": list(ca),
+            "thal": list(thal),
+            "class": disease.astype(int),
+        }
+    )
+    table = discretize_table(raw, default_bins=3)
+    attrs = [n for n in raw.column_names if n != "class"]
+    return LoadedDataset(
+        name="heart",
+        table=table,
+        raw_table=raw,
+        true_column="class",
+        pred_column=None,
+        attributes=attrs,
+        n_continuous=5,
+        n_categorical=8,
+    )

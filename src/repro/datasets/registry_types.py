@@ -1,0 +1,60 @@
+"""Shared dataset record type (separate module to avoid import cycles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tabular.table import Table
+
+
+@dataclass
+class LoadedDataset:
+    """A generated dataset, ready for divergence exploration.
+
+    Attributes
+    ----------
+    table:
+        Discretized table including the class and (optionally) the
+        prediction column.
+    raw_table:
+        The pre-discretization table (continuous columns intact); used
+        by the discretization experiments.
+    true_column / pred_column:
+        Column names of ground truth ``v`` and prediction ``u``.
+        ``pred_column`` is ``None`` until predictions are attached.
+    attributes:
+        The analysis attributes, in schema order.
+    n_continuous / n_categorical:
+        Schema statistics reported in Table 4.
+    """
+
+    name: str
+    table: Table
+    true_column: str
+    attributes: list[str]
+    n_continuous: int
+    n_categorical: int
+    pred_column: str | None = None
+    raw_table: Table | None = field(default=None, repr=False)
+
+    @property
+    def n_rows(self) -> int:
+        """``|D|``."""
+        return self.table.n_rows
+
+    @property
+    def n_attributes(self) -> int:
+        """``|A|``."""
+        return len(self.attributes)
+
+    def truth_array(self):
+        """Ground-truth labels as a boolean numpy array."""
+        import numpy as np
+
+        return np.asarray(
+            self.table.categorical(self.true_column).values_as_objects()
+        ).astype(bool)
+
+    def encoded_features(self):
+        """Dictionary-encoded attribute matrix for the ML models."""
+        return self.table.encoded_matrix(self.attributes)

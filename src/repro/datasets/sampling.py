@@ -1,0 +1,47 @@
+"""Shared sampling helpers for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+
+def categorical_sample(
+    rng: np.random.Generator,
+    n: int,
+    categories: Sequence[Any],
+    probs: Sequence[float] | None = None,
+) -> list[Any]:
+    """Draw ``n`` values from ``categories`` with optional probabilities."""
+    cats = list(categories)
+    if not cats:
+        raise DatasetError("categories must be non-empty")
+    if probs is None:
+        idx = rng.integers(0, len(cats), size=n)
+    else:
+        p = np.asarray(probs, dtype=float)
+        if p.shape != (len(cats),) or (p < 0).any():
+            raise DatasetError("probs must be non-negative and match categories")
+        p = p / p.sum()
+        idx = rng.choice(len(cats), size=n, p=p)
+    return [cats[i] for i in idx]
+
+
+def bernoulli(rng: np.random.Generator, probs: np.ndarray) -> np.ndarray:
+    """Sample one Bernoulli per row with per-row probability ``probs``."""
+    p = np.clip(np.asarray(probs, dtype=float), 0.0, 1.0)
+    return rng.random(p.shape) < p
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically clipped logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+def mask_for(values: list[Any], target: Any) -> np.ndarray:
+    """Boolean mask of positions equal to ``target``."""
+    return np.array([v == target for v in values], dtype=bool)

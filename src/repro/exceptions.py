@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything emitted by this package with one ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of numpy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or column was used in a way inconsistent with its schema.
+
+    Examples: referencing a column that does not exist, adding a column
+    whose length differs from the table's row count, or building an
+    itemset with two items over the same attribute.
+    """
+
+
+class DiscretizationError(ReproError):
+    """A continuous column could not be discretized as requested."""
+
+
+class MiningError(ReproError):
+    """Frequent-pattern mining was invoked with invalid parameters."""
+
+
+class NotFittedError(ReproError):
+    """A model or explorer was queried before being fitted/run."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""

@@ -1,0 +1,10 @@
+"""Experiment scaffolding: table rendering, timing and seeds.
+
+Shared by the example scripts and the benchmark harness under
+``benchmarks/`` (one bench per paper table/figure).
+"""
+
+from repro.experiments.runner import ExperimentTimer, set_default_seed
+from repro.experiments.tables import format_table, print_table
+
+__all__ = ["ExperimentTimer", "format_table", "print_table", "set_default_seed"]

@@ -1,0 +1,103 @@
+"""Plain-text charts for the figure benches.
+
+The paper's figures are bar and line plots; the benchmark harness
+regenerates their *series* and renders them as Unicode charts so the
+shape is visible directly in the bench output and the persisted
+``benchmarks/results/*.txt`` files — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart; negative values extend left of the axis.
+
+    Labels are left-aligned, bars scaled to the largest magnitude.
+    """
+    if not values:
+        return "(empty chart)"
+    items = list(values.items())
+    label_width = max(len(str(k)) for k, _ in items)
+    magnitudes = [abs(v) for _, v in items if not math.isnan(v)]
+    scale = max(magnitudes) if magnitudes else 1.0
+    if scale == 0:
+        scale = 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        if math.isnan(value):
+            lines.append(f"{str(label):<{label_width}} | (nan)")
+            continue
+        n_cells = abs(value) / scale * width
+        full = int(n_cells)
+        bar = _BAR * full + (_HALF if n_cells - full >= 0.5 else "")
+        sign = "-" if value < 0 else " "
+        lines.append(
+            f"{str(label):<{label_width}} |{sign}{bar} {value:+.4f}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    log_y: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series is a list of (x, y) points; series are marked with
+    distinct letters, collisions with ``*``. A crude but dependency-free
+    rendition of the paper's Fig. 6/7-style sweeps.
+    """
+    points = [
+        (x, y, name)
+        for name, pts in series.items()
+        for x, y in pts
+        if not (math.isnan(x) or math.isnan(y))
+    ]
+    if not points:
+        return "(empty chart)"
+
+    def transform(y: float) -> float:
+        return math.log10(max(y, 1e-12)) if log_y else y
+
+    xs = [p[0] for p in points]
+    ys = [transform(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {name: chr(ord("a") + i) for i, name in enumerate(series)}
+    for x, y, name in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((transform(y) - y_lo) / y_span * (height - 1))
+        cell = grid[row][col]
+        grid[row][col] = markers[name] if cell in (" ", markers[name]) else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_label = "log10(y)" if log_y else "y"
+    lines.append(f"{axis_label} in [{y_lo:.3g}, {y_hi:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x in [{x_lo:.3g}, {x_hi:.3g}]")
+    legend = "  ".join(f"{m}={name}" for name, m in markers.items())
+    lines.append(f"legend: {legend}  (*=overlap)")
+    return "\n".join(lines)

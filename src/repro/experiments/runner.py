@@ -1,0 +1,47 @@
+"""Timing and seeding helpers for experiments."""
+
+from __future__ import annotations
+
+import time
+
+DEFAULT_SEED = 0
+
+
+def set_default_seed(seed: int) -> None:
+    """Set the module-level default seed used by experiment scripts."""
+    global DEFAULT_SEED
+    DEFAULT_SEED = seed
+
+
+class ExperimentTimer:
+    """Context manager measuring wall-clock time of one experiment step.
+
+    >>> with ExperimentTimer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "ExperimentTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(fn, *args, repeats: int = 1, **kwargs) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (mean seconds, last result)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    total = 0.0
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        total += time.perf_counter() - start
+    return total / repeats, result

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module renders lists of row dicts as aligned ASCII tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``columns`` fixes order (default: keys of the first row). Floats are
+    rounded to ``float_digits``.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)
+    ]
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rendered
+    )
+    out = f"{header}\n{sep}\n{body}"
+    if title:
+        out = f"== {title} ==\n{out}"
+    return out
+
+
+def print_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns=columns, title=title, float_digits=float_digits))

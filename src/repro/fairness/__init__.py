@@ -1,0 +1,17 @@
+"""Group-fairness metrics built on the divergence machinery.
+
+The paper motivates divergence as a fairness-diagnosis tool (Sec. 1-2,
+citing AIF360/Aequitas-style audits). This subpackage computes the
+standard group-fairness measures — statistical parity difference,
+disparate impact, equal opportunity difference, average odds difference
+— for every frequent subgroup at once, by reusing the multi-metric
+single-pass exploration.
+"""
+
+from repro.fairness.metrics import (
+    FairnessRecord,
+    FairnessReport,
+    fairness_audit,
+)
+
+__all__ = ["FairnessRecord", "FairnessReport", "fairness_audit"]

@@ -1,0 +1,27 @@
+"""Frequent pattern mining substrate.
+
+From-scratch implementations of Apriori and FP-growth, both augmented to
+carry per-itemset *outcome channel* counts (the one-hot encoded outcome
+function of the paper's Algorithm 1) through the mining process, so that
+divergence can be computed for every frequent itemset without
+re-scanning the dataset.
+"""
+
+from repro.fpm.apriori import AprioriMiner
+from repro.fpm.bruteforce import BruteForceMiner
+from repro.fpm.eclat import EclatMiner
+from repro.fpm.fpgrowth import FPGrowthMiner
+from repro.fpm.miner import FrequentItemsets, Miner, mine_frequent
+from repro.fpm.transactions import ItemCatalog, TransactionDataset
+
+__all__ = [
+    "AprioriMiner",
+    "BruteForceMiner",
+    "EclatMiner",
+    "FPGrowthMiner",
+    "FrequentItemsets",
+    "ItemCatalog",
+    "Miner",
+    "TransactionDataset",
+    "mine_frequent",
+]

@@ -1,0 +1,95 @@
+"""Level-wise Apriori miner with outcome-channel augmentation.
+
+Classic Agrawal–Srikant candidate generation, executed over packed
+bitsets: the coverage of each frequent itemset is a ``np.packbits``
+bitset, and a candidate's coverage is the bitwise AND of its two
+generating parents. Support is a popcount; channel sums (the T/F/⊥
+outcome tallies of Algorithm 1) are computed only for candidates that
+pass the support threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpm.miner import FrequentItemsets, ItemsetKey, Miner
+from repro.fpm.transactions import TransactionDataset, popcount
+
+
+class AprioriMiner(Miner):
+    """Apriori with prefix-join candidate generation and bitset counting."""
+
+    name = "apriori"
+
+    def mine(
+        self,
+        dataset: TransactionDataset,
+        min_support: float,
+        max_length: int | None = None,
+    ) -> FrequentItemsets:
+        min_count = self._validate(dataset, min_support, max_length)
+        n = dataset.n_rows
+        counts: dict[ItemsetKey, np.ndarray] = {
+            frozenset(): dataset.counts_for_mask(np.ones(n, dtype=bool))
+        }
+        if max_length == 0:
+            return FrequentItemsets(counts, n, min_support)
+
+        # Level 1: per-item bitsets.
+        level: dict[tuple[int, ...], np.ndarray] = {}
+        for item_id in range(dataset.catalog.n_items):
+            mask = dataset.item_mask(item_id)
+            if int(mask.sum()) >= min_count:
+                packed = np.packbits(mask)
+                level[(item_id,)] = packed
+                counts[frozenset((item_id,))] = dataset.counts_for_mask(mask)
+
+        k = 1
+        while level and (max_length is None or k < max_length):
+            level = self._next_level(dataset, level, min_count, counts)
+            k += 1
+        return FrequentItemsets(counts, n, min_support)
+
+    def _next_level(
+        self,
+        dataset: TransactionDataset,
+        level: dict[tuple[int, ...], np.ndarray],
+        min_count: int,
+        counts: dict[ItemsetKey, np.ndarray],
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        """Generate, prune and count candidates one level deeper."""
+        catalog = dataset.catalog
+        keys = sorted(level)
+        next_level: dict[tuple[int, ...], np.ndarray] = {}
+        # Group itemsets by their (k-1)-prefix; join pairs within a group.
+        groups: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+        for key in keys:
+            groups.setdefault(key[:-1], []).append(key)
+        frequent_keys = set(keys)
+        for members in groups.values():
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    a, b = left[-1], right[-1]
+                    if catalog.column_of(a) == catalog.column_of(b):
+                        continue  # two values of the same attribute never co-occur
+                    candidate = left + (b,)
+                    if not self._all_subsets_frequent(candidate, frequent_keys):
+                        continue
+                    packed = level[left] & level[right]
+                    if popcount(packed) < min_count:
+                        continue
+                    mask = np.unpackbits(packed, count=dataset.n_rows).astype(bool)
+                    counts[frozenset(candidate)] = dataset.counts_for_mask(mask)
+                    next_level[candidate] = packed
+        return next_level
+
+    @staticmethod
+    def _all_subsets_frequent(
+        candidate: tuple[int, ...], frequent: set[tuple[int, ...]]
+    ) -> bool:
+        """Apriori pruning: every (k-1)-subset of the candidate is frequent."""
+        for drop in range(len(candidate)):
+            subset = candidate[:drop] + candidate[drop + 1 :]
+            if subset not in frequent:
+                return False
+        return True

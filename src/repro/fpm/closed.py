@@ -1,0 +1,66 @@
+"""Closed and maximal frequent itemset post-filters.
+
+Classic condensed representations from the FPM literature (Tan et al.,
+the paper's [25]):
+
+- an itemset is **closed** when no proper superset has the same support;
+- an itemset is **maximal** when no proper superset is frequent.
+
+Both are useful summaries orthogonal to the paper's ε-redundancy
+pruning: closed itemsets lose *no* support information, while maximal
+itemsets give the smallest possible description of the frequent border.
+Implemented as filters over a mined :class:`FrequentItemsets` table, so
+they compose with any backend.
+"""
+
+from __future__ import annotations
+
+from repro.fpm.miner import FrequentItemsets, ItemsetKey
+
+
+def closed_itemsets(frequent: FrequentItemsets) -> set[ItemsetKey]:
+    """Keys of all closed frequent itemsets (the empty set included when
+    closed)."""
+    by_size: dict[int, list[ItemsetKey]] = {}
+    for key in frequent:
+        by_size.setdefault(len(key), []).append(key)
+    closed: set[ItemsetKey] = set()
+    for size, keys in by_size.items():
+        supersets = by_size.get(size + 1, [])
+        for key in keys:
+            support = frequent.support_count(key)
+            # A closed itemset has no 1-extension with equal support;
+            # checking direct extensions suffices because support is
+            # antimonotone along chains.
+            if not any(
+                key < sup_key and frequent.support_count(sup_key) == support
+                for sup_key in supersets
+            ):
+                closed.add(key)
+    return closed
+
+
+def maximal_itemsets(frequent: FrequentItemsets) -> set[ItemsetKey]:
+    """Keys of all maximal frequent itemsets."""
+    by_size: dict[int, list[ItemsetKey]] = {}
+    for key in frequent:
+        by_size.setdefault(len(key), []).append(key)
+    maximal: set[ItemsetKey] = set()
+    for size, keys in by_size.items():
+        supersets = by_size.get(size + 1, [])
+        for key in keys:
+            if not any(key < sup_key for sup_key in supersets):
+                maximal.add(key)
+    return maximal
+
+
+def restrict(
+    frequent: FrequentItemsets, keep: set[ItemsetKey]
+) -> FrequentItemsets:
+    """A new table containing only ``keep`` (plus the empty itemset)."""
+    counts = {
+        key: frequent.counts(key)
+        for key in frequent
+        if key in keep or len(key) == 0
+    }
+    return FrequentItemsets(counts, frequent.n_rows, frequent.min_support)

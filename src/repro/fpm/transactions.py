@@ -1,0 +1,166 @@
+"""Transaction encoding for the pattern miners.
+
+The miners operate on globally numbered *item ids*. Each (attribute,
+value) pair of the dictionary-encoded table receives one id:
+``item_id = offset[column] + code``. :class:`ItemCatalog` holds the
+bidirectional mapping, and :class:`TransactionDataset` bundles the
+encoded matrix with per-item coverage bitsets and the outcome channel
+matrix used by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+
+# Lookup table mapping a byte to its population count, used to count the
+# rows covered by a packed bitset intersection.
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+
+def popcount(packed: np.ndarray) -> int:
+    """Number of set bits in a ``np.packbits``-packed uint8 array."""
+    return int(_POPCOUNT[packed].sum())
+
+
+class ItemCatalog:
+    """Bidirectional mapping between item ids and (attribute, value) pairs.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, in schema order.
+    categories:
+        For each attribute, the ordered list of its category labels.
+    """
+
+    def __init__(
+        self, attributes: Sequence[str], categories: Sequence[Sequence[Any]]
+    ) -> None:
+        if len(attributes) != len(categories):
+            raise MiningError("attributes and categories must align")
+        self.attributes = list(attributes)
+        self.categories = [list(c) for c in categories]
+        self.cardinalities = [len(c) for c in self.categories]
+        self.offsets = np.concatenate([[0], np.cumsum(self.cardinalities)])
+        self.n_items = int(self.offsets[-1])
+        # item id -> column index
+        self._item_column = np.repeat(
+            np.arange(len(attributes)), self.cardinalities
+        ).astype(np.int32)
+
+    def item_id(self, attribute: str, value: Any) -> int:
+        """Return the global id of item ``attribute = value``."""
+        try:
+            j = self.attributes.index(attribute)
+        except ValueError:
+            raise MiningError(f"unknown attribute {attribute!r}") from None
+        try:
+            code = self.categories[j].index(value)
+        except ValueError:
+            raise MiningError(f"unknown value {value!r} for {attribute!r}") from None
+        return int(self.offsets[j]) + code
+
+    def decode(self, item_id: int) -> tuple[str, Any]:
+        """Return the ``(attribute, value)`` pair of ``item_id``."""
+        if not 0 <= item_id < self.n_items:
+            raise MiningError(f"item id {item_id} out of range")
+        j = int(self._item_column[item_id])
+        code = item_id - int(self.offsets[j])
+        return self.attributes[j], self.categories[j][code]
+
+    def column_of(self, item_id: int) -> int:
+        """Column (attribute) index of ``item_id``."""
+        return int(self._item_column[item_id])
+
+    def attribute_of(self, item_id: int) -> str:
+        """Attribute name of ``item_id``."""
+        return self.attributes[self.column_of(item_id)]
+
+    def items_of_attribute(self, attribute: str) -> list[int]:
+        """All item ids belonging to ``attribute``."""
+        j = self.attributes.index(attribute)
+        lo, hi = int(self.offsets[j]), int(self.offsets[j + 1])
+        return list(range(lo, hi))
+
+    def __len__(self) -> int:
+        return self.n_items
+
+
+class TransactionDataset:
+    """Encoded transactions plus outcome channels, ready for mining.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n_rows, n_attrs) int`` dictionary-encoded data.
+    catalog:
+        The item catalog describing the encoding.
+    channels:
+        ``(n_rows, k)`` non-negative matrix whose column sums over an
+        itemset's support set the miners accumulate. For Algorithm 1,
+        the columns are the one-hot outcome indicators (T, F, ⊥).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        catalog: ItemCatalog,
+        channels: np.ndarray | None = None,
+    ) -> None:
+        mat = np.asarray(matrix)
+        if mat.ndim != 2:
+            raise MiningError("matrix must be 2-dimensional")
+        if mat.shape[1] != len(catalog.attributes):
+            raise MiningError(
+                f"matrix has {mat.shape[1]} columns, catalog expects "
+                f"{len(catalog.attributes)}"
+            )
+        for j, m in enumerate(catalog.cardinalities):
+            if mat.shape[0] and (mat[:, j].min() < 0 or mat[:, j].max() >= m):
+                raise MiningError(f"codes out of range in column {j}")
+        self.matrix = mat.astype(np.int32, copy=False)
+        self.catalog = catalog
+        self.n_rows = mat.shape[0]
+        if channels is None:
+            channels = np.empty((self.n_rows, 0), dtype=np.int64)
+        ch = np.asarray(channels)
+        if ch.ndim != 2 or ch.shape[0] != self.n_rows:
+            raise MiningError("channels must be (n_rows, k)")
+        self.channels = ch.astype(np.int64, copy=False)
+        self.n_channels = ch.shape[1]
+        # global item ids per row: matrix + per-column offsets
+        self.item_matrix = self.matrix + catalog.offsets[:-1].astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # per-item coverage
+    # ------------------------------------------------------------------
+
+    def item_mask(self, item_id: int) -> np.ndarray:
+        """Boolean coverage mask of one item."""
+        j = self.catalog.column_of(item_id)
+        code = item_id - int(self.catalog.offsets[j])
+        return self.matrix[:, j] == code
+
+    def item_masks(self) -> list[np.ndarray]:
+        """Boolean coverage masks for every item id, in id order."""
+        return [self.item_mask(i) for i in range(self.catalog.n_items)]
+
+    def counts_for_mask(self, mask: np.ndarray) -> np.ndarray:
+        """``[support_count, channel sums...]`` for a boolean row mask."""
+        n = int(mask.sum())
+        if self.n_channels == 0:
+            return np.array([n], dtype=np.int64)
+        sums = self.channels[mask].sum(axis=0)
+        return np.concatenate([[n], sums]).astype(np.int64)
+
+    def itemset_mask(self, item_ids: Sequence[int]) -> np.ndarray:
+        """Boolean coverage mask of an itemset (AND of its items)."""
+        mask = np.ones(self.n_rows, dtype=bool)
+        for i in item_ids:
+            mask &= self.item_mask(i)
+        return mask

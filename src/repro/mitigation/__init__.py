@@ -1,0 +1,20 @@
+"""Divergence-guided bias mitigation.
+
+The paper motivates divergence analysis as a model debugging tool; this
+subpackage closes the loop. Given the divergent subgroups DivExplorer
+finds, it provides two classic post-processing mitigations —
+per-subgroup decision-threshold adjustment and training-set reweighing
+— plus the re-audit that verifies the divergence actually shrank.
+"""
+
+from repro.mitigation.reweigh import reweighing_weights
+from repro.mitigation.thresholds import (
+    MitigationOutcome,
+    SubgroupThresholdMitigator,
+)
+
+__all__ = [
+    "MitigationOutcome",
+    "SubgroupThresholdMitigator",
+    "reweighing_weights",
+]

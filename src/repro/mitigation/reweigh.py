@@ -1,0 +1,65 @@
+"""Training-set reweighing (Kamiran & Calders style), subgroup-targeted.
+
+Pre-processing mitigation: assign each training instance a weight
+``P(group) · P(class) / P(group, class)`` so that class membership is
+statistically independent of the chosen subgroups. Classic reweighing
+uses one protected attribute; here the groups are arbitrary DivExplorer
+patterns, so intersectional subgroups can be reweighed directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.items import Itemset
+from repro.exceptions import ReproError
+from repro.tabular.table import Table
+from repro.userstudy.injection import pattern_mask
+
+
+def reweighing_weights(
+    table: Table,
+    truth: np.ndarray,
+    patterns: list[Itemset],
+) -> np.ndarray:
+    """Per-instance weights decorrelating class from subgroup membership.
+
+    Instances are partitioned by the *first* covering pattern (plus a
+    rest group); within each (group, class) cell the weight is
+    ``P(group) P(class) / P(group, class)``. Weights average to 1.
+
+    Raises if any (group, class) cell is empty — reweighing is undefined
+    there (the caller should drop or merge such patterns).
+    """
+    truth = np.asarray(truth).astype(bool)
+    if truth.shape != (table.n_rows,):
+        raise ReproError("truth must cover every table row")
+    n = table.n_rows
+    group = np.full(n, len(patterns), dtype=int)  # default: rest group
+    claimed = np.zeros(n, dtype=bool)
+    for index, pattern in enumerate(patterns):
+        mask = pattern_mask(table, pattern) & ~claimed
+        group[mask] = index
+        claimed |= mask
+
+    weights = np.empty(n, dtype=float)
+    p_class = {cls: np.mean(truth == cls) for cls in (False, True)}
+    for g in range(len(patterns) + 1):
+        g_mask = group == g
+        if not g_mask.any():
+            continue
+        p_group = g_mask.mean()
+        for cls in (False, True):
+            cell = g_mask & (truth == cls)
+            p_cell = cell.mean()
+            if cell.any() and p_cell == 0:
+                continue
+            if not cell.any():
+                if p_class[cls] > 0 and g_mask.sum() > 0:
+                    raise ReproError(
+                        f"empty (group {g}, class {cls}) cell; "
+                        "cannot reweigh this pattern"
+                    )
+                continue
+            weights[cell] = p_group * p_class[cls] / p_cell
+    return weights

@@ -1,0 +1,185 @@
+"""Per-subgroup decision-threshold mitigation.
+
+A post-processing mitigator in the spirit of Hardt et al.'s equalized
+odds post-processing, targeted by DivExplorer's output: for each chosen
+divergent pattern, the decision threshold applied to the model score is
+adjusted *within that subgroup* so the subgroup's metric matches the
+overall rate. Patterns are applied in the given priority order; each
+instance is governed by the first pattern covering it (remaining
+instances keep the base threshold).
+
+The mitigator is deliberately transparent — a list of
+(pattern, threshold) rules — because the whole point of subgroup
+debugging is an auditable fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Itemset
+from repro.core.outcomes import TRUE, outcome_metric
+from repro.exceptions import ReproError
+from repro.tabular.table import Table
+from repro.userstudy.injection import pattern_mask
+
+
+@dataclass
+class MitigationOutcome:
+    """Before/after summary of a mitigation run."""
+
+    metric: str
+    rules: list[tuple[Itemset, float]]
+    divergence_before: dict[Itemset, float]
+    divergence_after: dict[Itemset, float]
+
+    def improvement(self, pattern: Itemset) -> float:
+        """Reduction in |divergence| for one mitigated pattern."""
+        return abs(self.divergence_before[pattern]) - abs(
+            self.divergence_after[pattern]
+        )
+
+
+class SubgroupThresholdMitigator:
+    """Fit per-subgroup thresholds that flatten a metric's divergence.
+
+    Parameters
+    ----------
+    table:
+        Discretized dataset the patterns refer to.
+    truth:
+        Boolean ground-truth labels.
+    scores:
+        Model scores in [0, 1] (e.g. ``predict_proba`` output).
+    metric:
+        The outcome metric whose divergence is being flattened
+        (``"fpr"``, ``"fnr"``, ``"error"``, ...).
+    base_threshold:
+        Decision threshold outside the mitigated subgroups.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        truth: np.ndarray,
+        scores: np.ndarray,
+        metric: str = "fpr",
+        base_threshold: float = 0.5,
+    ) -> None:
+        truth = np.asarray(truth).astype(bool)
+        scores = np.asarray(scores, dtype=float)
+        if truth.shape != (table.n_rows,) or scores.shape != (table.n_rows,):
+            raise ReproError("truth and scores must cover every table row")
+        if not 0 < base_threshold < 1:
+            raise ReproError("base_threshold must be in (0, 1)")
+        self.table = table
+        self.truth = truth
+        self.scores = scores
+        self.metric = metric
+        self.base_threshold = base_threshold
+        self._outcome_fn = outcome_metric(metric)
+        self.rules: list[tuple[Itemset, float]] = []
+
+    # ------------------------------------------------------------------
+
+    def fit(self, patterns: list[Itemset]) -> "SubgroupThresholdMitigator":
+        """Choose one threshold per pattern so its rate matches overall.
+
+        The overall target rate is measured under the base threshold on
+        the *non-mitigated* remainder; each subgroup's threshold is the
+        candidate (over the subgroup's distinct scores) whose subgroup
+        rate is closest to the target.
+        """
+        base_pred = self.scores >= self.base_threshold
+        target = self._rate(self.truth, base_pred, np.ones_like(self.truth))
+        self.rules = []
+        claimed = np.zeros(self.table.n_rows, dtype=bool)
+        for pattern in patterns:
+            mask = pattern_mask(self.table, pattern) & ~claimed
+            if not mask.any():
+                continue
+            threshold = self._best_threshold(mask, target)
+            self.rules.append((pattern, threshold))
+            claimed |= mask
+        return self
+
+    def _best_threshold(self, mask: np.ndarray, target: float) -> float:
+        candidates = np.unique(
+            np.concatenate([self.scores[mask], [self.base_threshold]])
+        )
+        # Midpoints between consecutive scores make robust thresholds.
+        mids = (candidates[:-1] + candidates[1:]) / 2
+        candidates = np.unique(np.concatenate([candidates, mids, [0.5]]))
+        best, best_gap = self.base_threshold, float("inf")
+        for threshold in candidates:
+            pred = self.scores >= threshold
+            rate = self._rate(self.truth, pred, mask)
+            if np.isnan(rate):
+                continue
+            gap = abs(rate - target)
+            if gap < best_gap:
+                best_gap, best = gap, float(threshold)
+        return best
+
+    def _rate(
+        self, truth: np.ndarray, pred: np.ndarray, mask: np.ndarray
+    ) -> float:
+        outcome = self._outcome_fn(truth[mask], pred[mask])
+        t = int((outcome == TRUE).sum())
+        f = int((outcome == 0).sum())
+        return t / (t + f) if t + f else float("nan")
+
+    # ------------------------------------------------------------------
+
+    def predict(self, table: Table | None = None,
+                scores: np.ndarray | None = None) -> np.ndarray:
+        """Mitigated boolean predictions (defaults to the fitted data)."""
+        table = table if table is not None else self.table
+        scores = np.asarray(
+            scores if scores is not None else self.scores, dtype=float
+        )
+        if scores.shape != (table.n_rows,):
+            raise ReproError("scores must cover every table row")
+        thresholds = np.full(table.n_rows, self.base_threshold)
+        claimed = np.zeros(table.n_rows, dtype=bool)
+        for pattern, threshold in self.rules:
+            mask = pattern_mask(table, pattern) & ~claimed
+            thresholds[mask] = threshold
+            claimed |= mask
+        return scores >= thresholds
+
+    def evaluate(
+        self, attributes: list[str] | None = None, min_support: float = 0.05
+    ) -> MitigationOutcome:
+        """Re-audit: divergence of each mitigated pattern before/after."""
+        from repro.tabular.column import CategoricalColumn
+
+        before_pred = (self.scores >= self.base_threshold).astype(np.int32)
+        after_pred = self.predict().astype(np.int32)
+        outcome: dict[str, dict[Itemset, float]] = {}
+        for label, pred in (("before", before_pred), ("after", after_pred)):
+            table = self.table.with_column(
+                CategoricalColumn("__truth", self.truth.astype(np.int32), [0, 1])
+            ).with_column(CategoricalColumn("__pred", pred, [0, 1]))
+            explorer = DivergenceExplorer(
+                table, "__truth", "__pred", attributes=attributes
+            )
+            result = explorer.explore(self.metric, min_support=min_support)
+            outcome[label] = {
+                pattern: result.divergence_of(pattern)
+                for pattern, _ in self.rules
+                if pattern in result
+            }
+        common = [
+            p for p, _ in self.rules
+            if p in outcome["before"] and p in outcome["after"]
+        ]
+        return MitigationOutcome(
+            metric=self.metric,
+            rules=list(self.rules),
+            divergence_before={p: outcome["before"][p] for p in common},
+            divergence_after={p: outcome["after"][p] for p in common},
+        )

@@ -1,0 +1,29 @@
+"""Black-box classifiers and evaluation utilities (substrate).
+
+DivExplorer is model agnostic: it only needs a prediction column.
+These from-scratch learners (CART decision tree, random forest,
+logistic regression, multi-layer perceptron) stand in for the
+scikit-learn models the paper uses to produce the classification
+outcome ``u`` on the non-COMPAS datasets and in the user study.
+"""
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.metrics import accuracy, confusion_counts, false_negative_rate, false_positive_rate
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import CategoricalNaiveBayes
+from repro.ml.splits import train_test_split
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "CategoricalNaiveBayes",
+    "DecisionTreeClassifier",
+    "LogisticRegressionClassifier",
+    "MLPClassifier",
+    "RandomForestClassifier",
+    "accuracy",
+    "confusion_counts",
+    "false_negative_rate",
+    "false_positive_rate",
+    "train_test_split",
+]

@@ -1,0 +1,78 @@
+"""Random forest over the CART trees (substrate for the paper's
+"random forest classifier with default parameters")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ReproError
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bagged CART ensemble with per-split feature sampling.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size.
+    max_depth, min_samples_leaf:
+        Passed to every tree.
+    max_features:
+        Features sampled per split; ``None`` means ``ceil(sqrt(d))``,
+        the usual forest default.
+    seed:
+        Seed for bootstrap sampling and per-tree feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ReproError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit all trees on bootstrap resamples of ``(x, y)``."""
+        x = np.asarray(x, dtype=np.int32)
+        y = np.asarray(y).astype(np.int8)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ReproError("x must be (n, d) and y (n,) with matching n")
+        n, d = x.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.ceil(np.sqrt(d))))
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        for t in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(x[sample], y[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Mean of the trees' leaf probabilities."""
+        if not self._trees:
+            raise NotFittedError("RandomForestClassifier is not fitted")
+        probs = np.stack([tree.predict_proba(x) for tree in self._trees])
+        return probs.mean(axis=0)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Boolean majority/mean-probability prediction."""
+        return self.predict_proba(x) >= 0.5

@@ -1,0 +1,103 @@
+"""Logistic regression on one-hot encoded categorical features.
+
+Fitted with L-BFGS (scipy) on the L2-regularized log loss. Used both as
+a fast black-box classifier and as the local surrogate inside the LIME
+baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.exceptions import NotFittedError, ReproError
+
+
+def one_hot_encode(x: np.ndarray, cardinalities: list[int]) -> np.ndarray:
+    """One-hot encode an int-coded matrix given per-column cardinalities."""
+    x = np.asarray(x, dtype=np.int64)
+    if x.ndim != 2 or x.shape[1] != len(cardinalities):
+        raise ReproError(
+            f"matrix shape {x.shape} does not match {len(cardinalities)} columns"
+        )
+    n = x.shape[0]
+    total = int(sum(cardinalities))
+    out = np.zeros((n, total), dtype=np.float64)
+    offset = 0
+    for j, m in enumerate(cardinalities):
+        col = x[:, j]
+        if n and (col.min() < 0 or col.max() >= m):
+            raise ReproError(f"codes out of range in column {j}")
+        out[np.arange(n), offset + col] = 1.0
+        offset += m
+    return out
+
+
+class LogisticRegressionClassifier:
+    """Binary logistic regression with L2 regularization.
+
+    Works directly on int-coded categorical matrices: ``fit`` infers per
+    column cardinalities and one-hot encodes internally, so it plugs into
+    the same pipeline as the tree models.
+    """
+
+    def __init__(self, l2: float = 1.0, max_iter: int = 200) -> None:
+        if l2 < 0:
+            raise ReproError("l2 must be >= 0")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self._weights: np.ndarray | None = None
+        self._cardinalities: list[int] | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        """Fit on int-coded features and boolean/0-1 labels."""
+        x = np.asarray(x, dtype=np.int64)
+        y = np.asarray(y).astype(np.float64)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ReproError("x must be (n, d) and y (n,) with matching n")
+        self._cardinalities = [int(x[:, j].max()) + 1 if x.size else 1
+                               for j in range(x.shape[1])]
+        design = self._design(x)
+        n, p = design.shape
+
+        def loss_and_grad(w: np.ndarray) -> tuple[float, np.ndarray]:
+            z = design @ w
+            # log(1 + exp(z)) computed stably
+            log1pexp = np.where(z > 30, z, np.log1p(np.exp(np.minimum(z, 30))))
+            loss = float(np.sum(log1pexp - y * z) / n + 0.5 * self.l2 * w @ w / n)
+            prob = _sigmoid(z)
+            grad = design.T @ (prob - y) / n + self.l2 * w / n
+            return loss, grad
+
+        result = minimize(
+            loss_and_grad,
+            np.zeros(p),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        self._weights = result.x
+        return self
+
+    def _design(self, x: np.ndarray) -> np.ndarray:
+        assert self._cardinalities is not None
+        clipped = np.minimum(
+            np.asarray(x, dtype=np.int64),
+            np.asarray(self._cardinalities, dtype=np.int64) - 1,
+        )
+        encoded = one_hot_encode(clipped, self._cardinalities)
+        return np.hstack([np.ones((encoded.shape[0], 1)), encoded])
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(class = 1) per row."""
+        if self._weights is None:
+            raise NotFittedError("LogisticRegressionClassifier is not fitted")
+        return _sigmoid(self._design(x) @ self._weights)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Boolean class prediction per row."""
+        return self.predict_proba(x) >= 0.5
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))

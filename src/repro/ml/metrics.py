@@ -1,0 +1,50 @@
+"""Classification evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    truth = np.asarray(y_true).astype(bool)
+    pred = np.asarray(y_pred).astype(bool)
+    if truth.shape != pred.shape:
+        raise ReproError(
+            f"shape mismatch: y_true {truth.shape} vs y_pred {pred.shape}"
+        )
+    if truth.size == 0:
+        raise ReproError("empty label arrays")
+    return truth, pred
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, int]:
+    """``{tp, fp, tn, fn}`` counts for boolean labels."""
+    truth, pred = _check(y_true, y_pred)
+    return {
+        "tp": int(np.sum(pred & truth)),
+        "fp": int(np.sum(pred & ~truth)),
+        "tn": int(np.sum(~pred & ~truth)),
+        "fn": int(np.sum(~pred & truth)),
+    }
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    truth, pred = _check(y_true, y_pred)
+    return float(np.mean(truth == pred))
+
+
+def false_positive_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``FP / (FP + TN)``; NaN when there are no true negatives."""
+    c = confusion_counts(y_true, y_pred)
+    denom = c["fp"] + c["tn"]
+    return c["fp"] / denom if denom else float("nan")
+
+
+def false_negative_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``FN / (FN + TP)``; NaN when there are no true positives."""
+    c = confusion_counts(y_true, y_pred)
+    denom = c["fn"] + c["tp"]
+    return c["fn"] / denom if denom else float("nan")

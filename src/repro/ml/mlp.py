@@ -1,0 +1,106 @@
+"""Multi-layer perceptron (numpy backprop).
+
+The user study (paper Sec. 6.6) trains "a multi-layer perceptron neural
+network" on the bias-injected training set; this single-hidden-layer MLP
+with ReLU activation and mini-batch gradient descent plays that role.
+Features are one-hot encoded internally, like the logistic model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ReproError
+from repro.ml.linear import one_hot_encode
+
+
+class MLPClassifier:
+    """One-hidden-layer ReLU MLP for binary classification.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer width.
+    epochs, batch_size, learning_rate:
+        Mini-batch SGD hyper-parameters (Adam-free on purpose: small
+        datasets, deterministic training).
+    seed:
+        Weight initialization / shuffling seed.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        epochs: int = 30,
+        batch_size: int = 64,
+        learning_rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if hidden < 1 or epochs < 1 or batch_size < 1 or learning_rate <= 0:
+            raise ReproError("invalid MLP hyper-parameters")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._params: tuple[np.ndarray, ...] | None = None
+        self._cardinalities: list[int] | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Fit on int-coded features and boolean/0-1 labels."""
+        x = np.asarray(x, dtype=np.int64)
+        y = np.asarray(y).astype(np.float64)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ReproError("x must be (n, d) and y (n,) with matching n")
+        self._cardinalities = [int(x[:, j].max()) + 1 if x.size else 1
+                               for j in range(x.shape[1])]
+        design = one_hot_encode(x, self._cardinalities)
+        n, p = design.shape
+        rng = np.random.default_rng(self.seed)
+        w1 = rng.normal(0, np.sqrt(2 / p), size=(p, self.hidden))
+        b1 = np.zeros(self.hidden)
+        w2 = rng.normal(0, np.sqrt(2 / self.hidden), size=self.hidden)
+        b2 = 0.0
+        lr = self.learning_rate
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = design[idx], y[idx]
+                # forward
+                h_pre = xb @ w1 + b1
+                h = np.maximum(h_pre, 0.0)
+                logits = h @ w2 + b2
+                prob = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+                # backward (mean cross-entropy)
+                m = idx.size
+                d_logits = (prob - yb) / m
+                d_w2 = h.T @ d_logits
+                d_b2 = float(d_logits.sum())
+                d_h = np.outer(d_logits, w2) * (h_pre > 0)
+                d_w1 = xb.T @ d_h
+                d_b1 = d_h.sum(axis=0)
+                w1 -= lr * d_w1
+                b1 -= lr * d_b1
+                w2 -= lr * d_w2
+                b2 -= lr * d_b2
+        self._params = (w1, b1, w2, np.array(b2))
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(class = 1) per row."""
+        if self._params is None or self._cardinalities is None:
+            raise NotFittedError("MLPClassifier is not fitted")
+        w1, b1, w2, b2 = self._params
+        clipped = np.minimum(
+            np.asarray(x, dtype=np.int64),
+            np.asarray(self._cardinalities, dtype=np.int64) - 1,
+        )
+        design = one_hot_encode(clipped, self._cardinalities)
+        h = np.maximum(design @ w1 + b1, 0.0)
+        logits = h @ w2 + float(b2)
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Boolean class prediction per row."""
+        return self.predict_proba(x) >= 0.5

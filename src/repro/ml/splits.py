@@ -1,0 +1,43 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def train_test_split(
+    n_rows: int,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    stratify: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(train_indices, test_indices)`` over ``range(n_rows)``.
+
+    With ``stratify`` given (a label array of length ``n_rows``), each
+    label keeps approximately ``test_fraction`` of its rows in the test
+    set, so class balance is preserved.
+    """
+    if not 0 < test_fraction < 1:
+        raise ReproError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if n_rows < 2:
+        raise ReproError(f"need at least 2 rows to split, got {n_rows}")
+    rng = np.random.default_rng(seed)
+    if stratify is None:
+        perm = rng.permutation(n_rows)
+        n_test = max(1, int(round(n_rows * test_fraction)))
+        return np.sort(perm[n_test:]), np.sort(perm[:n_test])
+    labels = np.asarray(stratify)
+    if labels.shape != (n_rows,):
+        raise ReproError("stratify array must have length n_rows")
+    test_parts = []
+    for value in np.unique(labels):
+        idx = np.flatnonzero(labels == value)
+        idx = rng.permutation(idx)
+        n_test = max(1, int(round(idx.size * test_fraction)))
+        test_parts.append(idx[:n_test])
+    test = np.sort(np.concatenate(test_parts))
+    mask = np.ones(n_rows, dtype=bool)
+    mask[test] = False
+    return np.flatnonzero(mask), test

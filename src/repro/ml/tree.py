@@ -1,0 +1,183 @@
+"""CART decision tree over dictionary-encoded categorical features.
+
+Binary classification tree with Gini-impurity splits. Since the library
+works on discretized data, every feature is an integer code and the
+candidate splits are equality tests ``feature == code`` (one-vs-rest),
+evaluated from per-code class histograms in vectorized numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ReproError
+
+
+@dataclass
+class _Leaf:
+    probability: float  # P(class = 1) among training rows in this leaf
+
+    def predict_row(self, row: np.ndarray) -> float:
+        return self.probability
+
+
+@dataclass
+class _Split:
+    feature: int
+    code: int
+    left: "_Split | _Leaf"   # rows with feature == code
+    right: "_Split | _Leaf"  # rows with feature != code
+
+    def predict_row(self, row: np.ndarray) -> float:
+        branch = self.left if row[self.feature] == self.code else self.right
+        return branch.predict_row(row)
+
+
+class DecisionTreeClassifier:
+    """Gini CART with one-vs-rest categorical splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split:
+        Minimum rows required to consider splitting a node.
+    min_samples_leaf:
+        Minimum rows in each child of an accepted split.
+    max_features:
+        Number of features sampled per split (``None`` = all); used by
+        the random forest for feature bagging.
+    seed:
+        RNG seed for feature sampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 0:
+            raise ReproError("max_depth must be >= 0")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Split | _Leaf | None = None
+        self._n_features: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit on an int-coded feature matrix and boolean/0-1 labels."""
+        x = np.asarray(x, dtype=np.int32)
+        y = np.asarray(y).astype(np.int8)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ReproError("x must be (n, d) and y (n,) with matching n")
+        if x.shape[0] == 0:
+            raise ReproError("cannot fit on empty data")
+        self._n_features = x.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(x, y, depth=0, rng=rng)
+        return self
+
+    def _grow(
+        self, x: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Split | _Leaf:
+        n = y.size
+        positives = int(y.sum())
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or positives == 0
+            or positives == n
+        ):
+            return _Leaf(positives / n)
+        feature, code = self._best_split(x, y, rng)
+        if feature is None:
+            return _Leaf(positives / n)
+        mask = x[:, feature] == code
+        left = self._grow(x[mask], y[mask], depth + 1, rng)
+        right = self._grow(x[~mask], y[~mask], depth + 1, rng)
+        return _Split(feature, code, left, right)
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int | None, int]:
+        """Best (feature, code) one-vs-rest split by Gini gain."""
+        n = y.size
+        d = x.shape[1]
+        if self.max_features is not None and self.max_features < d:
+            features = rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = np.arange(d)
+        total_pos = int(y.sum())
+        parent_gini = _gini(total_pos, n)
+        best_gain = 1e-12
+        best: tuple[int | None, int] = (None, -1)
+        for j in features:
+            col = x[:, j]
+            n_codes = int(col.max()) + 1 if n else 0
+            counts = np.bincount(col, minlength=n_codes)
+            pos = np.bincount(col, weights=y.astype(float), minlength=n_codes)
+            for code in range(n_codes):
+                n_left = int(counts[code])
+                if (
+                    n_left < self.min_samples_leaf
+                    or n - n_left < self.min_samples_leaf
+                ):
+                    continue
+                pos_left = int(pos[code])
+                n_right = n - n_left
+                pos_right = total_pos - pos_left
+                child = (
+                    n_left / n * _gini(pos_left, n_left)
+                    + n_right / n * _gini(pos_right, n_right)
+                )
+                gain = parent_gini - child
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(j), code)
+        return best
+
+    # ------------------------------------------------------------------
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(class = 1) per row."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        x = np.asarray(x, dtype=np.int32)
+        if x.ndim != 2 or x.shape[1] != self._n_features:
+            raise ReproError(
+                f"expected (n, {self._n_features}) feature matrix, got {x.shape}"
+            )
+        return np.array([self._root.predict_row(row) for row in x])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Boolean class prediction per row."""
+        return self.predict_proba(x) >= 0.5
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+
+        def walk(node: _Split | _Leaf) -> int:
+            if isinstance(node, _Leaf):
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+
+def _gini(positives: int, n: int) -> float:
+    """Gini impurity of a binary node."""
+    if n == 0:
+        return 0.0
+    p = positives / n
+    return 2 * p * (1 - p)

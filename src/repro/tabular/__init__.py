@@ -1,0 +1,33 @@
+"""Column-oriented tabular data substrate.
+
+This subpackage provides the small slice of dataframe functionality that
+DivExplorer needs: typed columns backed by numpy arrays, a schema-aware
+:class:`Table`, discretization of continuous attributes, and CSV I/O.
+"""
+
+from repro.tabular.column import CategoricalColumn, Column, ContinuousColumn
+from repro.tabular.discretize import (
+    BinSpec,
+    discretize_column,
+    discretize_table,
+    format_interval_labels,
+    quantile_edges,
+    uniform_edges,
+)
+from repro.tabular.io import read_csv, write_csv
+from repro.tabular.table import Table
+
+__all__ = [
+    "BinSpec",
+    "CategoricalColumn",
+    "Column",
+    "ContinuousColumn",
+    "Table",
+    "discretize_column",
+    "discretize_table",
+    "format_interval_labels",
+    "quantile_edges",
+    "read_csv",
+    "uniform_edges",
+    "write_csv",
+]

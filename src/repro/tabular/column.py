@@ -1,0 +1,170 @@
+"""Typed columns backed by numpy arrays.
+
+Two concrete column kinds exist:
+
+- :class:`CategoricalColumn` stores integer codes plus a list of category
+  labels (the dictionary encoding used throughout the library);
+- :class:`ContinuousColumn` stores float values and must be discretized
+  before pattern mining.
+
+Columns are immutable value objects: transformation methods return new
+columns rather than mutating in place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+
+class Column:
+    """Abstract base for a named, typed column of values.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"age"``.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SchemaError("column name must be a non-empty string")
+        self.name = str(name)
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def is_categorical(self) -> bool:
+        """Whether this column holds dictionary-encoded categories."""
+        return isinstance(self, CategoricalColumn)
+
+    @property
+    def is_continuous(self) -> bool:
+        """Whether this column holds raw float values."""
+        return isinstance(self, ContinuousColumn)
+
+    def take(self, indices: np.ndarray) -> "Column":  # pragma: no cover
+        """Return a new column with rows selected by ``indices``."""
+        raise NotImplementedError
+
+    def values_as_objects(self) -> list[Any]:  # pragma: no cover
+        """Return the column as a plain Python list of decoded values."""
+        raise NotImplementedError
+
+
+class CategoricalColumn(Column):
+    """A dictionary-encoded categorical column.
+
+    Stores an ``int32`` code array plus the ordered list of category
+    labels. Codes index into ``categories``; no missing-value sentinel is
+    used (datasets are cleaned before construction, matching the paper's
+    preprocessing that removes instances with missing values).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        codes: np.ndarray | Sequence[int],
+        categories: Sequence[Any],
+    ) -> None:
+        super().__init__(name)
+        codes_arr = np.asarray(codes, dtype=np.int32)
+        if codes_arr.ndim != 1:
+            raise SchemaError(f"column {name!r}: codes must be 1-dimensional")
+        cats = list(categories)
+        if len(set(map(str, cats))) != len(cats):
+            raise SchemaError(f"column {name!r}: duplicate category labels")
+        if codes_arr.size and (codes_arr.min() < 0 or codes_arr.max() >= len(cats)):
+            raise SchemaError(
+                f"column {name!r}: codes out of range for {len(cats)} categories"
+            )
+        self.codes = codes_arr
+        self.categories = cats
+
+    @classmethod
+    def from_values(cls, name: str, values: Iterable[Any]) -> "CategoricalColumn":
+        """Build a column by dictionary-encoding raw ``values``.
+
+        Categories are ordered by first appearance when values are not
+        sortable, otherwise sorted for deterministic output.
+        """
+        vals = list(values)
+        uniques = sorted(set(vals), key=lambda v: (str(type(v)), str(v)))
+        index = {v: i for i, v in enumerate(uniques)}
+        codes = np.fromiter((index[v] for v in vals), dtype=np.int32, count=len(vals))
+        return cls(name, codes, uniques)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct categories (``m_a`` in the paper)."""
+        return len(self.categories)
+
+    def value_counts(self) -> dict[Any, int]:
+        """Return a mapping ``category -> number of rows``."""
+        counts = np.bincount(self.codes, minlength=len(self.categories))
+        return {cat: int(c) for cat, c in zip(self.categories, counts)}
+
+    def mask_equal(self, value: Any) -> np.ndarray:
+        """Boolean mask of rows whose decoded value equals ``value``."""
+        try:
+            code = self.categories.index(value)
+        except ValueError:
+            return np.zeros(len(self), dtype=bool)
+        return self.codes == code
+
+    def take(self, indices: np.ndarray) -> "CategoricalColumn":
+        return CategoricalColumn(self.name, self.codes[indices], self.categories)
+
+    def values_as_objects(self) -> list[Any]:
+        return [self.categories[c] for c in self.codes]
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalColumn({self.name!r}, n={len(self)}, "
+            f"cardinality={self.cardinality})"
+        )
+
+
+class ContinuousColumn(Column):
+    """A raw float-valued column, to be discretized before mining."""
+
+    def __init__(self, name: str, values: np.ndarray | Sequence[float]) -> None:
+        super().__init__(name)
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise SchemaError(f"column {name!r}: values must be 1-dimensional")
+        if np.isnan(arr).any():
+            raise SchemaError(f"column {name!r}: NaN values are not supported")
+        self.values = arr
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def take(self, indices: np.ndarray) -> "ContinuousColumn":
+        return ContinuousColumn(self.name, self.values[indices])
+
+    def values_as_objects(self) -> list[Any]:
+        return [float(v) for v in self.values]
+
+    def min(self) -> float:
+        """Minimum value (raises on empty column)."""
+        if not len(self):
+            raise SchemaError(f"column {self.name!r} is empty")
+        return float(self.values.min())
+
+    def max(self) -> float:
+        """Maximum value (raises on empty column)."""
+        if not len(self):
+            raise SchemaError(f"column {self.name!r} is empty")
+        return float(self.values.max())
+
+    def __repr__(self) -> str:
+        return f"ContinuousColumn({self.name!r}, n={len(self)})"

@@ -1,0 +1,68 @@
+"""CSV reading and writing for :class:`~repro.tabular.table.Table`.
+
+A deliberately small, dependency-free CSV layer: the library ships
+synthetic dataset generators, but downstream users will want to load
+their own data from disk, so round-trippable CSV support is part of the
+public API.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.exceptions import SchemaError
+from repro.tabular.table import Table
+
+
+def read_csv(path: str | Path, categorical: set[str] | None = None) -> Table:
+    """Load a CSV file into a :class:`Table`.
+
+    Column types are inferred: a column parses as continuous if every
+    value parses as a float and it has enough distinct values, otherwise
+    it is categorical. Columns named in ``categorical`` are forced to be
+    categorical regardless of content.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV file") from None
+        rows = list(reader)
+    if any(len(r) != len(header) for r in rows):
+        raise SchemaError(f"{path}: ragged rows in CSV")
+    force_cat = categorical or set()
+    data: dict[str, list] = {}
+    for j, name in enumerate(header):
+        raw = [r[j] for r in rows]
+        if name in force_cat:
+            data[name] = raw
+            continue
+        parsed = _try_parse_floats(raw)
+        data[name] = parsed if parsed is not None else raw
+    return Table.from_dict(data)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as CSV with a header row."""
+    path = Path(path)
+    decoded = table.to_dict()
+    names = table.column_names
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for i in range(table.n_rows):
+            writer.writerow([decoded[n][i] for n in names])
+
+
+def _try_parse_floats(raw: list[str]) -> list[float] | None:
+    """Parse all strings as floats, or return ``None`` if any fails."""
+    out: list[float] = []
+    for s in raw:
+        try:
+            out.append(float(s))
+        except ValueError:
+            return None
+    return out

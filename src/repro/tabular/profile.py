@@ -1,0 +1,66 @@
+"""Dataset profiling: per-column summaries.
+
+Produces the at-a-glance description a data scientist checks before an
+audit — row counts, per-attribute cardinalities and top categories,
+numeric ranges — and the rows feeding dataset sections of the markdown
+report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular.table import Table
+
+
+def profile_table(table: Table, top_categories: int = 3) -> list[dict[str, object]]:
+    """Per-column summary rows for ``table``.
+
+    Categorical columns report cardinality and the most frequent
+    categories with shares; continuous columns report min/median/max.
+    """
+    rows: list[dict[str, object]] = []
+    for name in table.column_names:
+        column = table.column(name)
+        if column.is_categorical:
+            cat = table.categorical(name)
+            counts = cat.value_counts()
+            top = sorted(counts.items(), key=lambda kv: -kv[1])[:top_categories]
+            described = ", ".join(
+                f"{value} ({count / max(len(cat), 1):.0%})"
+                for value, count in top
+            )
+            rows.append(
+                {
+                    "column": name,
+                    "type": "categorical",
+                    "cardinality": cat.cardinality,
+                    "summary": described,
+                }
+            )
+        else:
+            cont = table.continuous(name)
+            if len(cont):
+                values = cont.values
+                summary = (
+                    f"min {values.min():g}, median {np.median(values):g}, "
+                    f"max {values.max():g}"
+                )
+            else:
+                summary = "(empty)"
+            rows.append(
+                {
+                    "column": name,
+                    "type": "continuous",
+                    "cardinality": "-",
+                    "summary": summary,
+                }
+            )
+    return rows
+
+
+def class_balance(table: Table, class_column: str) -> dict[object, float]:
+    """Share of each class value (for the report header)."""
+    cat = table.categorical(class_column)
+    n = max(len(cat), 1)
+    return {value: count / n for value, count in cat.value_counts().items()}

@@ -1,0 +1,271 @@
+"""Schema-aware table of typed columns.
+
+:class:`Table` is the dataset container used across the library. It is a
+thin, column-oriented structure: each column is a
+:class:`~repro.tabular.column.Column` and all columns share the same row
+count. It supports the relational operations DivExplorer needs —
+selection by boolean mask or index array, column addition/removal, and
+conversion to the dictionary-encoded matrix consumed by the miners.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.tabular.column import CategoricalColumn, Column, ContinuousColumn
+
+
+class Table:
+    """An ordered collection of equally sized named columns.
+
+    Parameters
+    ----------
+    columns:
+        The columns, in schema order. Names must be unique and lengths
+        must agree.
+    """
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names: {names}")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[Any]]) -> "Table":
+        """Build a table from ``{name: values}``, inferring column types.
+
+        Numeric value sequences with many distinct values become
+        continuous columns; everything else is dictionary-encoded as
+        categorical. Integer-valued sequences with few distinct values
+        (at most 20) are treated as categorical, which matches how the
+        paper treats already-discrete attributes.
+        """
+        columns: list[Column] = []
+        for name, values in data.items():
+            vals = list(values)
+            if _looks_continuous(vals):
+                columns.append(ContinuousColumn(name, np.asarray(vals, dtype=float)))
+            else:
+                columns.append(CategoricalColumn.from_values(name, vals))
+        return cls(columns)
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of instances ``|D|``."""
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in schema order."""
+        return list(self._columns)
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``|A|``."""
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name`` (raises ``SchemaError`` if absent)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; available: {self.column_names}"
+            ) from None
+
+    def categorical(self, name: str) -> CategoricalColumn:
+        """Return column ``name``, asserting it is categorical."""
+        col = self.column(name)
+        if not isinstance(col, CategoricalColumn):
+            raise SchemaError(f"column {name!r} is not categorical")
+        return col
+
+    def continuous(self, name: str) -> ContinuousColumn:
+        """Return column ``name``, asserting it is continuous."""
+        col = self.column(name)
+        if not isinstance(col, ContinuousColumn):
+            raise SchemaError(f"column {name!r} is not continuous")
+        return col
+
+    @property
+    def categorical_names(self) -> list[str]:
+        """Names of categorical columns, in schema order."""
+        return [n for n, c in self._columns.items() if c.is_categorical]
+
+    @property
+    def continuous_names(self) -> list[str]:
+        """Names of continuous columns, in schema order."""
+        return [n for n, c in self._columns.items() if c.is_continuous]
+
+    # ------------------------------------------------------------------
+    # relational operations (all return new tables)
+    # ------------------------------------------------------------------
+
+    def select(self, mask_or_indices: np.ndarray) -> "Table":
+        """Return a table with rows picked by a boolean mask or index array."""
+        sel = np.asarray(mask_or_indices)
+        if sel.dtype == bool and sel.shape != (self._n_rows,):
+            raise SchemaError(
+                f"boolean mask length {sel.shape} != row count {self._n_rows}"
+            )
+        return Table([c.take(sel) for c in self._columns.values()])
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a table with ``column`` appended (or replaced by name)."""
+        if len(column) != self._n_rows and self._columns:
+            raise SchemaError(
+                f"column {column.name!r} has {len(column)} rows, table has {self._n_rows}"
+            )
+        cols = [c for c in self._columns.values() if c.name != column.name]
+        cols.append(column)
+        return Table(cols)
+
+    def without_columns(self, names: Iterable[str]) -> "Table":
+        """Return a table with the named columns dropped."""
+        drop = set(names)
+        missing = drop - set(self._columns)
+        if missing:
+            raise SchemaError(f"cannot drop missing columns: {sorted(missing)}")
+        return Table([c for c in self._columns.values() if c.name not in drop])
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Return a table containing only the named columns, in given order."""
+        return Table([self.column(n) for n in names])
+
+    def mask_equal(self, name: str, value: Any) -> np.ndarray:
+        """Boolean mask of rows where categorical column ``name`` == ``value``."""
+        return self.categorical(name).mask_equal(value)
+
+    def sort_by(self, name: str, ascending: bool = True) -> "Table":
+        """Return a table sorted by one column (stable sort).
+
+        Categorical columns sort by decoded value; continuous by value.
+        """
+        column = self.column(name)
+        if column.is_categorical:
+            cat = self.categorical(name)
+            decoded = np.array([str(cat.categories[c]) for c in cat.codes])
+            order = np.argsort(decoded, kind="stable")
+        else:
+            order = np.argsort(self.continuous(name).values, kind="stable")
+        if not ascending:
+            order = order[::-1]
+        return self.select(order)
+
+    def concat(self, other: "Table") -> "Table":
+        """Stack two tables with identical schemas row-wise.
+
+        Categorical columns must share the same categories (in order),
+        so codes remain comparable.
+        """
+        if self.column_names != other.column_names:
+            raise SchemaError(
+                f"schema mismatch: {self.column_names} vs {other.column_names}"
+            )
+        columns: list[Column] = []
+        for name in self.column_names:
+            a, b = self.column(name), other.column(name)
+            if a.is_categorical != b.is_categorical:
+                raise SchemaError(f"column {name!r}: type mismatch")
+            if a.is_categorical:
+                cat_a, cat_b = self.categorical(name), other.categorical(name)
+                if cat_a.categories != cat_b.categories:
+                    raise SchemaError(
+                        f"column {name!r}: category mismatch; re-encode first"
+                    )
+                columns.append(
+                    CategoricalColumn(
+                        name,
+                        np.concatenate([cat_a.codes, cat_b.codes]),
+                        cat_a.categories,
+                    )
+                )
+            else:
+                columns.append(
+                    ContinuousColumn(
+                        name,
+                        np.concatenate(
+                            [
+                                self.continuous(name).values,
+                                other.continuous(name).values,
+                            ]
+                        ),
+                    )
+                )
+        return Table(columns)
+
+    # ------------------------------------------------------------------
+    # encoding for mining / learning
+    # ------------------------------------------------------------------
+
+    def encoded_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Return an ``(n_rows, n_cols) int32`` matrix of category codes.
+
+        All requested columns must be categorical. This is the input
+        format for the frequent-pattern miners and the tree learners.
+        """
+        use = list(names) if names is not None else self.categorical_names
+        cols = [self.categorical(n) for n in use]
+        if not cols:
+            return np.empty((self._n_rows, 0), dtype=np.int32)
+        return np.column_stack([c.codes for c in cols]).astype(np.int32, copy=False)
+
+    def cardinalities(self, names: Sequence[str] | None = None) -> list[int]:
+        """Category counts ``m_a`` for the requested categorical columns."""
+        use = list(names) if names is not None else self.categorical_names
+        return [self.categorical(n).cardinality for n in use]
+
+    # ------------------------------------------------------------------
+    # conversion / inspection
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Return ``{name: decoded values}`` for all columns."""
+        return {n: c.values_as_objects() for n, c in self._columns.items()}
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.select(np.arange(min(n, self._n_rows)))
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(
+            f"{n}:{'cat' if c.is_categorical else 'num'}"
+            for n, c in self._columns.items()
+        )
+        return f"Table(n_rows={self._n_rows}, columns=[{kinds}])"
+
+
+def _looks_continuous(values: list[Any]) -> bool:
+    """Heuristic type inference used by :meth:`Table.from_dict`."""
+    if not values:
+        return False
+    if any(isinstance(v, bool) or isinstance(v, str) for v in values):
+        return False
+    if all(isinstance(v, (int, float, np.integer, np.floating)) for v in values):
+        if all(float(v).is_integer() for v in values):
+            return len(set(values)) > 20
+        return True
+    return False

@@ -1,0 +1,64 @@
+"""Bias injection into training labels (paper Sec. 6.6).
+
+The controlled experiment plants a known defect: within the subgroup
+covered by a chosen pattern, every training label is overwritten with a
+fixed outcome ("changing all outcomes to recidivate"), producing a
+classifier that is systematically wrong on that subgroup at test time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.items import Itemset
+from repro.exceptions import ReproError
+from repro.tabular.table import Table
+
+
+def pattern_mask(table: Table, pattern: Itemset) -> np.ndarray:
+    """Boolean coverage mask of ``pattern`` over ``table``."""
+    mask = np.ones(table.n_rows, dtype=bool)
+    for item in pattern:
+        mask &= table.mask_equal(item.attribute, item.value)
+    return mask
+
+
+def inject_bias(
+    labels: np.ndarray,
+    table: Table,
+    pattern: Itemset,
+    forced_label: bool,
+    indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return labels with the subgroup's outcomes forced to ``forced_label``.
+
+    Parameters
+    ----------
+    labels:
+        Boolean ground-truth labels over all of ``table``.
+    table:
+        The (discretized) dataset the pattern refers to.
+    pattern:
+        The subgroup to corrupt.
+    forced_label:
+        The label every covered instance receives.
+    indices:
+        Optional row subset to corrupt (e.g. only training rows);
+        defaults to all rows.
+
+    Returns a *copy*; the input array is untouched.
+    """
+    labels = np.asarray(labels).astype(bool)
+    if labels.shape != (table.n_rows,):
+        raise ReproError("labels must cover every table row")
+    mask = pattern_mask(table, pattern)
+    if not mask.any():
+        raise ReproError(f"pattern ({pattern}) covers no instances")
+    scope = np.zeros(table.n_rows, dtype=bool)
+    if indices is None:
+        scope[:] = True
+    else:
+        scope[np.asarray(indices)] = True
+    out = labels.copy()
+    out[mask & scope] = forced_label
+    return out

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.fpm.transactions import ItemCatalog, TransactionDataset
+from repro.tabular.column import CategoricalColumn, ContinuousColumn
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def small_table() -> Table:
+    """A 8-row, fully categorical table with a class and pred column."""
+    return Table(
+        [
+            CategoricalColumn.from_values(
+                "color", ["red", "red", "blue", "blue", "red", "blue", "red", "blue"]
+            ),
+            CategoricalColumn.from_values(
+                "size", ["S", "L", "S", "L", "S", "L", "L", "S"]
+            ),
+            CategoricalColumn("class", [1, 0, 1, 0, 1, 1, 0, 0], [0, 1]),
+            CategoricalColumn("pred", [1, 1, 0, 0, 1, 1, 1, 0], [0, 1]),
+        ]
+    )
+
+
+@pytest.fixture
+def mixed_table() -> Table:
+    """A table with one continuous and one categorical column."""
+    return Table(
+        [
+            ContinuousColumn("age", [18.0, 25.0, 33.0, 41.0, 52.0, 67.0]),
+            CategoricalColumn.from_values("sex", ["M", "F", "M", "F", "M", "F"]),
+        ]
+    )
+
+
+@pytest.fixture
+def small_explorer(small_table) -> DivergenceExplorer:
+    return DivergenceExplorer(small_table, "class", "pred")
+
+
+@pytest.fixture
+def random_transactions() -> TransactionDataset:
+    """Random 3-attribute transactions with two binary channels."""
+    rng = np.random.default_rng(42)
+    matrix = rng.integers(0, 3, size=(120, 3))
+    catalog = ItemCatalog(["x", "y", "z"], [[0, 1, 2]] * 3)
+    channels = rng.integers(0, 2, size=(120, 2))
+    return TransactionDataset(matrix, catalog, channels)
+
+
+def make_random_dataset(
+    seed: int, n_rows: int = 150, n_attrs: int = 4, card: int = 3
+) -> TransactionDataset:
+    """Standalone builder used by hypothesis-driven tests."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, card, size=(n_rows, n_attrs))
+    names = [f"a{i}" for i in range(n_attrs)]
+    catalog = ItemCatalog(names, [list(range(card))] * n_attrs)
+    channels = rng.integers(0, 2, size=(n_rows, 2))
+    # Make channels mutually exclusive-ish: T + F <= 1 per row (like an
+    # outcome one-hot with possible BOTTOM rows).
+    channels[:, 1] = np.where(channels[:, 0] == 1, 0, channels[:, 1])
+    return TransactionDataset(matrix, catalog, channels)

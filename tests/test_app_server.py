@@ -1,0 +1,221 @@
+"""Tests for the interactive exploration server (in-process HTTP)."""
+
+import json
+import threading
+import urllib.request
+from urllib.error import HTTPError
+
+import pytest
+
+from repro.app.server import create_server
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server = create_server(port=0, seed=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_index_page(self, server_url):
+        with urllib.request.urlopen(server_url + "/", timeout=30) as response:
+            body = response.read().decode()
+        assert "DivExplorer" in body
+        assert response.headers["Content-Type"].startswith("text/html")
+
+    def test_datasets(self, server_url):
+        data = get_json(server_url + "/api/datasets")
+        names = {row["dataset"] for row in data["datasets"]}
+        assert "compas" in names and "german" in names
+
+    def test_explore(self, server_url):
+        data = get_json(
+            server_url
+            + "/api/explore?dataset=compas&metric=fpr&support=0.1&top=5"
+        )
+        assert data["metric"] == "fpr"
+        assert 0 < data["global_rate"] < 1
+        assert len(data["patterns"]) == 5
+        top = data["patterns"][0]
+        assert set(top) == {"itemset", "support", "divergence", "t"}
+        # ranked by divergence
+        divs = [p["divergence"] for p in data["patterns"]]
+        assert divs == sorted(divs, reverse=True)
+
+    def test_explore_with_pruning(self, server_url):
+        pruned = get_json(
+            server_url
+            + "/api/explore?dataset=compas&metric=fpr&support=0.1"
+            + "&top=50&epsilon=0.05"
+        )
+        full = get_json(
+            server_url
+            + "/api/explore?dataset=compas&metric=fpr&support=0.1&top=50"
+        )
+        assert len(pruned["patterns"]) <= len(full["patterns"])
+
+    def test_shapley(self, server_url):
+        explore = get_json(
+            server_url
+            + "/api/explore?dataset=compas&metric=fpr&support=0.1&top=1"
+        )
+        pattern = explore["patterns"][0]["itemset"]
+        data = get_json(
+            server_url
+            + "/api/shapley?dataset=compas&metric=fpr&support=0.1&pattern="
+            + urllib.parse.quote(pattern)
+        )
+        total = sum(c["value"] for c in data["contributions"])
+        assert total == pytest.approx(data["divergence"], abs=1e-9)
+
+    def test_global(self, server_url):
+        data = get_json(
+            server_url + "/api/global?dataset=compas&metric=fpr&support=0.1&top=5"
+        )
+        assert len(data["items"]) == 5
+        values = [row["global"] for row in data["items"]]
+        assert values == sorted(values, reverse=True)
+
+    def test_corrective(self, server_url):
+        data = get_json(
+            server_url
+            + "/api/corrective?dataset=compas&metric=fpr&support=0.1&top=3"
+        )
+        assert data["corrective"]
+        for row in data["corrective"]:
+            assert row["factor"] > 0
+
+    def test_lattice(self, server_url):
+        explore = get_json(
+            server_url
+            + "/api/explore?dataset=compas&metric=fpr&support=0.1&top=1"
+        )
+        pattern = explore["patterns"][0]["itemset"]
+        data = get_json(
+            server_url
+            + "/api/lattice?dataset=compas&metric=fpr&support=0.1&pattern="
+            + urllib.parse.quote(pattern)
+        )
+        n_items = pattern.count(",") + 1
+        assert len(data["nodes"]) == 2**n_items
+        assert any(node["divergent"] for node in data["nodes"])
+
+
+class TestErrors:
+    def test_unknown_path_404(self, server_url):
+        with pytest.raises(HTTPError) as err:
+            get_json(server_url + "/api/nope")
+        assert err.value.code == 404
+
+    def test_unknown_dataset_400(self, server_url):
+        with pytest.raises(HTTPError) as err:
+            get_json(server_url + "/api/explore?dataset=mnist")
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert "unknown dataset" in body["error"]
+
+    def test_bad_support_400(self, server_url):
+        with pytest.raises(HTTPError) as err:
+            get_json(server_url + "/api/explore?dataset=compas&support=banana")
+        assert err.value.code == 400
+
+    def test_infrequent_pattern_400(self, server_url):
+        with pytest.raises(HTTPError) as err:
+            get_json(
+                server_url
+                + "/api/shapley?dataset=compas&support=0.9&pattern="
+                + urllib.parse.quote("sex=Male, race=Other")
+            )
+        assert err.value.code == 400
+
+
+class TestCaching:
+    def test_repeat_queries_share_state(self, server_url):
+        a = get_json(
+            server_url + "/api/explore?dataset=compas&metric=fpr&support=0.1"
+        )
+        b = get_json(
+            server_url + "/api/explore?dataset=compas&metric=fpr&support=0.1"
+        )
+        assert a == b
+
+
+class TestUpload:
+    CSV = (
+        "region,employed,class,pred\n"
+        + "\n".join(
+            f"{'north' if i % 2 else 'south'},"
+            f"{'yes' if i % 5 else 'no'},"
+            f"{1 if i % 3 else 0},"
+            f"{1 if (i % 3 and i % 7) else 0}"
+            for i in range(200)
+        )
+        + "\n"
+    )
+
+    def upload(self, server_url, name="loans"):
+        request = urllib.request.Request(
+            server_url
+            + f"/api/upload?name={name}&true_column=class&pred_column=pred",
+            data=self.CSV.encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())
+
+    def test_upload_and_explore(self, server_url):
+        handle = self.upload(server_url)["dataset"]
+        assert handle == "upload:loans"
+        data = get_json(
+            server_url
+            + f"/api/explore?dataset={handle}&metric=error&support=0.1&top=3"
+        )
+        assert data["patterns"]
+        assert any("region" in p["itemset"] or "employed" in p["itemset"]
+                   for p in data["patterns"])
+
+    def test_unknown_upload_handle(self, server_url):
+        with pytest.raises(HTTPError) as err:
+            get_json(server_url + "/api/explore?dataset=upload:ghost")
+        assert err.value.code == 400
+
+    def test_empty_upload_rejected(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/api/upload?name=x",
+            data=b"",
+            method="POST",
+        )
+        with pytest.raises(HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+
+    def test_post_unknown_path_404(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/api/nothing", data=b"x", method="POST"
+        )
+        with pytest.raises(HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 404
+
+    def test_reupload_invalidates_cache(self, server_url):
+        handle = self.upload(server_url, name="fresh")["dataset"]
+        first = get_json(
+            server_url
+            + f"/api/explore?dataset={handle}&metric=error&support=0.1"
+        )
+        handle2 = self.upload(server_url, name="fresh")["dataset"]
+        assert handle2 == handle
+        second = get_json(
+            server_url
+            + f"/api/explore?dataset={handle}&metric=error&support=0.1"
+        )
+        assert first == second  # same CSV -> same result after refresh

@@ -1,0 +1,82 @@
+"""Tests for the LIME-style explainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lime import LimeExplainer
+from repro.core.items import Item
+from repro.exceptions import ReproError
+
+
+def make_explainer(predict):
+    return LimeExplainer(
+        predict_proba=predict,
+        cardinalities=[2, 3, 2],
+        attributes=["a", "b", "c"],
+        categories=[["no", "yes"], ["x", "y", "z"], [0, 1]],
+    )
+
+
+class TestExplanations:
+    def test_single_feature_model_dominates(self):
+        # Black box depends only on a == yes.
+        explainer = make_explainer(lambda x: (x[:, 0] == 1).astype(float))
+        expl = explainer.explain(np.array([1, 2, 0]), seed=0)
+        top_item, top_weight = expl.top_items(1)[0]
+        assert top_item == Item("a", "yes")
+        assert top_weight > 0.3
+
+    def test_irrelevant_features_near_zero(self):
+        explainer = make_explainer(lambda x: (x[:, 0] == 1).astype(float))
+        expl = explainer.explain(np.array([1, 2, 0]), seed=0)
+        weights = dict(expl.weights)
+        assert abs(weights[Item("b", "z")]) < 0.1
+        assert abs(weights[Item("c", 0)]) < 0.1
+
+    def test_negative_weight_when_value_suppresses(self):
+        # Prediction is high unless a == yes.
+        explainer = make_explainer(lambda x: (x[:, 0] == 0).astype(float))
+        expl = explainer.explain(np.array([1, 0, 0]), seed=0)
+        weights = dict(expl.weights)
+        assert weights[Item("a", "yes")] < -0.3
+
+    def test_predicted_value_recorded(self):
+        explainer = make_explainer(lambda x: np.full(len(x), 0.7))
+        expl = explainer.explain(np.array([0, 0, 0]), seed=0)
+        assert expl.predicted == pytest.approx(0.7)
+
+    def test_deterministic_given_seed(self):
+        explainer = make_explainer(lambda x: (x[:, 1] == 2).astype(float))
+        row = np.array([0, 2, 1])
+        a = explainer.explain(row, seed=3)
+        b = explainer.explain(row, seed=3)
+        assert a.weights == b.weights
+
+    def test_constant_model_all_zero_weights(self):
+        explainer = make_explainer(lambda x: np.full(len(x), 0.5))
+        expl = explainer.explain(np.array([0, 0, 0]), seed=0)
+        assert all(abs(w) < 1e-6 for _, w in expl.weights)
+
+    def test_top_items_sorted_by_magnitude(self):
+        explainer = make_explainer(
+            lambda x: 0.6 * (x[:, 0] == 1) + 0.3 * (x[:, 1] == 2)
+        )
+        expl = explainer.explain(np.array([1, 2, 0]), seed=0)
+        magnitudes = [abs(w) for _, w in expl.top_items(3)]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+class TestValidation:
+    def test_row_shape(self):
+        explainer = make_explainer(lambda x: np.zeros(len(x)))
+        with pytest.raises(ReproError):
+            explainer.explain(np.array([0, 0]), seed=0)
+
+    def test_misaligned_metadata(self):
+        with pytest.raises(ReproError):
+            LimeExplainer(
+                predict_proba=lambda x: np.zeros(len(x)),
+                cardinalities=[2],
+                attributes=["a", "b"],
+                categories=[["x"], ["y"]],
+            )

@@ -1,0 +1,132 @@
+"""Tests for the Slice Finder baseline (Sec. 6.5 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.slicefinder import SliceFinder
+from repro.core.items import Item, Itemset
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def planted_table(seed=0, n=4000):
+    """High loss exactly in (a=1, b=1)."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, n)
+    b = rng.integers(0, 2, n)
+    c = rng.integers(0, 2, n)
+    loss = np.where((a == 1) & (b == 1), rng.random(n) < 0.6, rng.random(n) < 0.05)
+    table = Table(
+        [
+            CategoricalColumn("a", a, [0, 1]),
+            CategoricalColumn("b", b, [0, 1]),
+            CategoricalColumn("c", c, [0, 1]),
+        ]
+    )
+    return table, loss.astype(float)
+
+
+class TestSearch:
+    def test_finds_planted_slice(self):
+        table, loss = planted_table()
+        finder = SliceFinder(table, loss)
+        slices = finder.find_slices(k=5, effect_size_threshold=0.8, degree=3)
+        found = {s.itemset for s in slices}
+        assert Itemset.from_pairs([("a", 1), ("b", 1)]) in found
+
+    def test_stops_at_problematic_slices(self):
+        # At a low threshold the single items a=1 and b=1 are already
+        # problematic and are never expanded, so the true source
+        # (a=1, b=1) cannot be returned — the paper's Sec. 6.5 critique.
+        table, loss = planted_table()
+        finder = SliceFinder(table, loss)
+        slices = finder.find_slices(k=10, effect_size_threshold=0.15, degree=3)
+        assert slices, "nothing found"
+        found = {s.itemset for s in slices}
+        assert Itemset.from_pairs([("a", 1)]) in found
+        assert Itemset.from_pairs([("b", 1)]) in found
+        assert Itemset.from_pairs([("a", 1), ("b", 1)]) not in found
+
+    def test_degree_cap(self):
+        table, loss = planted_table()
+        finder = SliceFinder(table, loss)
+        slices = finder.find_slices(k=10, effect_size_threshold=0.8, degree=1)
+        assert all(len(s.itemset) <= 1 for s in slices)
+
+    def test_k_bounds_output(self):
+        table, loss = planted_table()
+        finder = SliceFinder(table, loss)
+        slices = finder.find_slices(k=1, effect_size_threshold=0.15)
+        assert len(slices) == 1
+
+    def test_min_size_filter(self):
+        table, loss = planted_table(n=500)
+        finder = SliceFinder(table, loss)
+        slices = finder.find_slices(k=10, min_size=100_000)
+        assert slices == []
+
+    def test_results_sorted_by_size(self):
+        table, loss = planted_table()
+        finder = SliceFinder(table, loss)
+        slices = finder.find_slices(k=10, effect_size_threshold=0.15)
+        sizes = [s.size for s in slices]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestStats:
+    def test_effect_size_sign(self):
+        table, loss = planted_table()
+        finder = SliceFinder(table, loss)
+        target = Itemset.from_pairs([("a", 1), ("b", 1)])
+        mask = np.ones(table.n_rows, dtype=bool)
+        for item in target:
+            mask &= table.mask_equal(item.attribute, item.value)
+        stats = finder._evaluate(target, mask, int(mask.sum()))
+        assert stats.effect_size > 1.0
+        assert stats.t_statistic > 10
+        assert 0.5 < stats.mean_loss < 0.7
+
+    def test_validation(self):
+        table, loss = planted_table(n=100)
+        with pytest.raises(ReproError):
+            SliceFinder(table, loss[:50])
+        finder = SliceFinder(table, loss)
+        with pytest.raises(ReproError):
+            finder.find_slices(k=0)
+
+    def test_str_rendering(self):
+        table, loss = planted_table()
+        finder = SliceFinder(table, loss)
+        slices = finder.find_slices(k=1, effect_size_threshold=0.15)
+        assert "eff=" in str(slices[0])
+
+
+class TestComparisonWithDivExplorer:
+    """The paper's Sec. 6.5 scenario in miniature: Slice Finder's default
+    stopping rule returns subsets of the true source, never the source."""
+
+    def test_default_misses_superset_source(self):
+        from repro.datasets import artificial
+
+        data = artificial.generate(seed=0, n_rows=10_000)
+        truth = data.truth_array()
+        pred = np.asarray(
+            data.table.categorical("pred").values_as_objects()
+        ).astype(bool)
+        loss = (truth != pred).astype(float)
+        finder = SliceFinder(
+            data.table, loss, attributes=data.attributes
+        )
+        slices = finder.find_slices(k=6, effect_size_threshold=0.4, degree=3)
+        abc = {"a", "b", "c"}
+        # the quota fills with the 6 length-2 subsets of the two true
+        # sources, which are never expanded (paper Sec. 6.5)
+        assert len(slices) == 6
+        assert all(s.itemset.attributes <= abc for s in slices)
+        assert all(len(s.itemset) == 2 for s in slices)
+        # ... and raising the threshold recovers the true triples.
+        strict = finder.find_slices(k=10, effect_size_threshold=1.0, degree=3)
+        triples = {s.itemset for s in strict}
+        assert Itemset.from_pairs([("a", 1), ("b", 1), ("c", 1)]) in triples
+        assert Itemset.from_pairs([("a", 0), ("b", 0), ("c", 0)]) in triples

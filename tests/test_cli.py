@@ -1,0 +1,162 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tabular.io import write_csv
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def loans_csv(tmp_path):
+    rng = np.random.default_rng(0)
+    n = 800
+    region = rng.choice(["north", "south"], size=n)
+    employed = rng.choice(["yes", "no"], size=n, p=[0.8, 0.2])
+    truth = (employed == "yes") & (rng.random(n) < 0.8)
+    pred = truth ^ (rng.random(n) < np.where(region == "north", 0.3, 0.1))
+    table = Table.from_dict(
+        {
+            "region": list(region),
+            "employed": list(employed),
+            "class": truth.astype(int),
+            "pred": pred.astype(int),
+        }
+    )
+    path = tmp_path / "loans.csv"
+    write_csv(table, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore", "--dataset", "compas"])
+        assert args.metric == "fpr"
+        assert args.support == 0.1
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--dataset", "mnist"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "compas" in out and "german" in out
+
+    def test_explore_bundled(self, capsys):
+        code = main(
+            ["explore", "--dataset", "compas", "--support", "0.1", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall fpr" in out
+        assert "Δ_fpr" in out
+
+    def test_explore_with_pruning(self, capsys):
+        code = main(
+            ["explore", "--dataset", "compas", "--support", "0.1",
+             "--epsilon", "0.05"]
+        )
+        assert code == 0
+        assert "ε=0.05" in capsys.readouterr().out
+
+    def test_explore_csv(self, loans_csv, capsys):
+        code = main(
+            ["explore", "--csv", loans_csv, "--metric", "error",
+             "--support", "0.1", "--top", "3"]
+        )
+        assert code == 0
+        assert "region" in capsys.readouterr().out
+
+    def test_shapley(self, capsys):
+        code = main(
+            ["shapley", "--dataset", "compas", "--support", "0.05",
+             "--pattern", "#prior=>3, race=African-American"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#prior=>3" in out
+
+    def test_global(self, capsys):
+        code = main(["global", "--dataset", "compas", "--support", "0.1"])
+        assert code == 0
+        assert "individual" in capsys.readouterr().out
+
+    def test_corrective(self, capsys):
+        code = main(["corrective", "--dataset", "compas", "--support", "0.05"])
+        assert code == 0
+        assert "c_f=" in capsys.readouterr().out
+
+    def test_lattice_text(self, capsys):
+        code = main(
+            ["lattice", "--dataset", "compas", "--support", "0.05",
+             "--pattern", "#prior=>3, race=African-American"]
+        )
+        assert code == 0
+        assert "Δ=" in capsys.readouterr().out
+
+    def test_lattice_dot(self, capsys):
+        code = main(
+            ["lattice", "--dataset", "compas", "--support", "0.05",
+             "--pattern", "#prior=>3, race=African-American", "--dot"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(
+            ["report", "--dataset", "compas", "--support", "0.1",
+             "--metrics", "fpr,fnr", "--output", str(out_file)]
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert text.startswith("# Divergence audit")
+        assert "## FPR" in text and "## FNR" in text
+
+    def test_errors_reported_not_raised(self, capsys):
+        code = main(
+            ["shapley", "--dataset", "compas", "--support", "0.9",
+             "--pattern", "#prior=>3, race=African-American"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_both_sources_rejected(self, loans_csv, capsys):
+        code = main(
+            ["explore", "--dataset", "compas", "--csv", loans_csv]
+        )
+        assert code == 1
+
+    def test_no_source_rejected(self, capsys):
+        assert main(["explore"]) == 1
+
+
+class TestSignificantCommand:
+    def test_significant(self, capsys):
+        code = main(
+            ["significant", "--dataset", "compas", "--support", "0.1",
+             "--alpha", "0.05", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "survive BH FDR control" in out
+        assert "Δ_fpr" in out
+
+    def test_strict_alpha_fewer(self, capsys):
+        main(["significant", "--dataset", "compas", "--support", "0.1",
+              "--alpha", "1e-12", "--top", "50"])
+        strict = capsys.readouterr().out
+        main(["significant", "--dataset", "compas", "--support", "0.1",
+              "--alpha", "0.5", "--top", "50"])
+        loose = capsys.readouterr().out
+        strict_n = int(strict.split()[0])
+        loose_n = int(loose.split()[0])
+        assert strict_n <= loose_n

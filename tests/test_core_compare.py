@@ -1,0 +1,120 @@
+"""Tests for model comparison via divergence tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import compare_results, regressions
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def two_models(seed=0, n=4000):
+    """Model A errs uniformly; model B additionally errs in g=1."""
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, 2, n)
+    h = rng.integers(0, 2, n)
+    truth = rng.integers(0, 2, n).astype(bool)
+    err_a = rng.random(n) < 0.15
+    err_b = rng.random(n) < np.where(g == 1, 0.40, 0.15)
+    pred_a = np.where(err_a, ~truth, truth)
+    pred_b = np.where(err_b, ~truth, truth)
+
+    def explorer(pred):
+        table = Table(
+            [
+                CategoricalColumn("g", g, [0, 1]),
+                CategoricalColumn("h", h, [0, 1]),
+                CategoricalColumn("class", truth.astype(int), [0, 1]),
+                CategoricalColumn("pred", pred.astype(int), [0, 1]),
+            ]
+        )
+        return DivergenceExplorer(table, "class", "pred")
+
+    result_a = explorer(pred_a).explore("error", min_support=0.05)
+    result_b = explorer(pred_b).explore("error", min_support=0.05)
+    return result_a, result_b
+
+
+class TestCompare:
+    def test_planted_regression_found(self):
+        result_a, result_b = two_models()
+        shifts = compare_results(result_a, result_b, k=3)
+        assert shifts
+        top = shifts[0]
+        assert Item("g", 1) in top.itemset
+        assert top.shift > 0.1
+
+    def test_shift_matches_divergences(self):
+        result_a, result_b = two_models()
+        for s in compare_results(result_a, result_b, k=10):
+            assert s.shift == pytest.approx(s.divergence_b - s.divergence_a)
+            assert s.divergence_a == pytest.approx(
+                result_a.divergence_of(s.itemset)
+            )
+            assert s.divergence_b == pytest.approx(
+                result_b.divergence_of(s.itemset)
+            )
+
+    def test_sorted_by_absolute_shift(self):
+        result_a, result_b = two_models()
+        shifts = compare_results(result_a, result_b, k=20)
+        magnitudes = [abs(s.shift) for s in shifts]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_min_t_filters(self):
+        result_a, result_b = two_models()
+        strict = compare_results(result_a, result_b, k=50, min_t=5.0)
+        assert all(s.t_statistic >= 5.0 for s in strict)
+
+    def test_identical_models_tiny_shifts(self):
+        result_a, _ = two_models()
+        shifts = compare_results(result_a, result_a, k=5)
+        assert all(s.shift == 0.0 for s in shifts)
+
+    def test_str_rendering(self):
+        result_a, result_b = two_models()
+        text = str(compare_results(result_a, result_b, k=1)[0])
+        assert "shift" in text
+
+
+class TestRegressions:
+    def test_regressions_worse_only(self):
+        result_a, result_b = two_models()
+        worse = regressions(result_a, result_b, k=10)
+        assert worse
+        for s in worse:
+            assert abs(s.divergence_b) > abs(s.divergence_a)
+        # the planted group leads
+        assert Item("g", 1) in worse[0].itemset
+
+    def test_no_regressions_when_identical(self):
+        result_a, _ = two_models()
+        assert regressions(result_a, result_a, k=5) == []
+
+
+class TestValidation:
+    def test_metric_mismatch(self):
+        result_a, _ = two_models()
+        other = two_models()[0]
+        other.metric = "fpr"
+        with pytest.raises(ReproError):
+            compare_results(result_a, other)
+
+    def test_catalog_mismatch(self):
+        result_a, _ = two_models()
+        rng = np.random.default_rng(1)
+        table = Table(
+            [
+                CategoricalColumn("z", rng.integers(0, 2, 100), [0, 1]),
+                CategoricalColumn("class", rng.integers(0, 2, 100), [0, 1]),
+                CategoricalColumn("pred", rng.integers(0, 2, 100), [0, 1]),
+            ]
+        )
+        other = DivergenceExplorer(table, "class", "pred").explore(
+            "error", min_support=0.1
+        )
+        with pytest.raises(ReproError):
+            compare_results(result_a, other)

@@ -1,0 +1,139 @@
+"""Tests for the continuous-outcome divergence extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.continuous import ContinuousDivergenceExplorer
+from repro.core.items import Itemset
+from repro.exceptions import ReproError, SchemaError
+from repro.tabular.column import CategoricalColumn, ContinuousColumn
+from repro.tabular.table import Table
+
+
+def make_table(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, 2, n)
+    h = rng.integers(0, 3, n)
+    # scores are shifted up by +1.0 exactly in g=1
+    scores = rng.normal(0.0, 0.5, n) + 1.0 * (g == 1)
+    table = Table(
+        [
+            CategoricalColumn("g", g, [0, 1]),
+            CategoricalColumn("h", h, [0, 1, 2]),
+        ]
+    )
+    return table, scores, g
+
+
+class TestExploration:
+    def test_planted_mean_shift_found(self):
+        table, scores, g = make_table()
+        explorer = ContinuousDivergenceExplorer(table, scores)
+        result = explorer.explore(min_support=0.1)
+        # Every top pattern contains the planted g=1 item (supersets of
+        # it share the shift up to noise), and the g=1 record matches
+        # the empirical mean shift exactly.
+        for rec in result.top_k(4):
+            assert ("g", 1) in {(i.attribute, i.value) for i in rec.itemset}
+        planted = result.record(Itemset.from_pairs([("g", 1)]))
+        assert planted.divergence == pytest.approx(
+            scores[g == 1].mean() - scores.mean(), abs=1e-4
+        )
+        assert planted.t_statistic > 10
+
+    def test_global_mean_exact(self):
+        table, scores, _ = make_table()
+        result = ContinuousDivergenceExplorer(table, scores).explore(0.1)
+        assert result.global_mean == pytest.approx(scores.mean(), abs=1e-5)
+
+    def test_subgroup_mean_and_variance(self):
+        table, scores, g = make_table()
+        result = ContinuousDivergenceExplorer(table, scores).explore(0.1)
+        rec = result.record(Itemset.from_pairs([("g", 0)]))
+        sub = scores[g == 0]
+        assert rec.mean == pytest.approx(sub.mean(), abs=1e-4)
+        assert rec.variance == pytest.approx(sub.var(), abs=1e-2)
+        assert rec.support_count == int((g == 0).sum())
+
+    def test_negative_scores_supported(self):
+        table, scores, g = make_table()
+        result = ContinuousDivergenceExplorer(table, -scores).explore(0.1)
+        # Negating the scores flips the divergence sign exactly.
+        planted = result.record(Itemset.from_pairs([("g", 1)]))
+        assert planted.divergence == pytest.approx(
+            -(scores[g == 1].mean() - scores.mean()), abs=1e-4
+        )
+        for rec in result.top_k(4, ascending=True):
+            assert ("g", 1) in {(i.attribute, i.value) for i in rec.itemset}
+
+    @pytest.mark.parametrize("algorithm", ["fpgrowth", "apriori", "eclat"])
+    def test_backends_agree(self, algorithm):
+        table, scores, _ = make_table(n=400)
+        base = ContinuousDivergenceExplorer(table, scores).explore(0.05)
+        other = ContinuousDivergenceExplorer(table, scores).explore(
+            0.05, algorithm=algorithm
+        )
+        assert set(base.frequent) == set(other.frequent)
+        for key in base.frequent:
+            assert base.record_for_key(key).mean == pytest.approx(
+                other.record_for_key(key).mean
+            )
+
+
+class TestValidation:
+    def test_score_length(self):
+        table, scores, _ = make_table()
+        with pytest.raises(ReproError):
+            ContinuousDivergenceExplorer(table, scores[:10])
+
+    def test_nonfinite_scores(self):
+        table, scores, _ = make_table()
+        scores[0] = float("inf")
+        with pytest.raises(ReproError):
+            ContinuousDivergenceExplorer(table, scores)
+
+    def test_continuous_attribute_rejected(self):
+        table = Table(
+            [
+                ContinuousColumn("v", [1.0, 2.0]),
+            ]
+        )
+        with pytest.raises(SchemaError):
+            ContinuousDivergenceExplorer(
+                table, np.zeros(2), attributes=["v"]
+            )
+
+    def test_infrequent_pattern_lookup(self):
+        table, scores, _ = make_table(n=300)
+        result = ContinuousDivergenceExplorer(table, scores).explore(0.9)
+        with pytest.raises(ReproError):
+            result.record(Itemset.from_pairs([("g", 1), ("h", 0)]))
+
+
+class TestLossDivergenceUseCase:
+    """The natural application: model loss as the score (Slice Finder's
+    setting expressed in DivExplorer's exhaustive framework)."""
+
+    def test_loss_divergence_matches_error_divergence(self):
+        from repro.core.divergence import DivergenceExplorer
+        from repro.datasets import load
+
+        data = load("compas", seed=0)
+        truth = data.truth_array()
+        pred = np.asarray(
+            data.table.categorical("pred").values_as_objects()
+        ).astype(bool)
+        loss = (truth != pred).astype(float)
+        attr_table = data.table.without_columns(["class", "pred"])
+        cont = ContinuousDivergenceExplorer(attr_table, loss).explore(0.1)
+        disc = DivergenceExplorer(
+            data.table, "class", "pred"
+        ).explore("error", min_support=0.1)
+        # With 0/1 loss, mean-loss divergence == error-rate divergence.
+        for key in disc.frequent:
+            if len(key) == 0:
+                continue
+            itemset = disc.itemset_of(key)
+            assert cont.divergence_of(itemset) == pytest.approx(
+                disc.divergence_of(itemset), abs=1e-4
+            )

@@ -1,0 +1,115 @@
+"""Tests for corrective items (Def. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.corrective import find_corrective_items, is_corrective
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def planted_corrective_explorer():
+    """Errors concentrated in g=1 *except* when fix=1: the item fix=1 is
+    corrective for the pattern (g=1)."""
+    rng = np.random.default_rng(0)
+    n = 4000
+    # g=1 is a minority group so that the correction brings its error
+    # close to (not past) the overall rate.
+    g = (rng.random(n) < 0.25).astype(int)
+    fix = rng.integers(0, 2, n)
+    truth = rng.integers(0, 2, n).astype(bool)
+    err_prob = np.where((g == 1) & (fix == 0), 0.45, 0.10)
+    err = rng.random(n) < err_prob
+    pred = np.where(err, ~truth, truth)
+    table = Table(
+        [
+            CategoricalColumn("g", g, [0, 1]),
+            CategoricalColumn("fix", fix, [0, 1]),
+            CategoricalColumn("class", truth.astype(int), [0, 1]),
+            CategoricalColumn("pred", pred.astype(int), [0, 1]),
+        ]
+    )
+    return DivergenceExplorer(table, "class", "pred")
+
+
+class TestDetection:
+    def test_planted_corrective_found(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.05)
+        corrections = find_corrective_items(result, k=3)
+        assert corrections, "no corrective items found"
+        planted = [
+            c
+            for c in corrections
+            if c.item == Item("fix", 1) and c.base == Itemset([Item("g", 1)])
+        ]
+        assert planted, f"planted correction not in top-3: {corrections}"
+        assert planted[0].corrective_factor > 0.05
+
+    def test_is_corrective_agrees(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.05)
+        assert is_corrective(result, Itemset([Item("g", 1)]), Item("fix", 1))
+        assert not is_corrective(result, Itemset([Item("g", 1)]), Item("fix", 0))
+
+    def test_factor_matches_definition(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.05)
+        best = find_corrective_items(result, k=1)[0]
+        base_div = result.divergence_of(best.base)
+        ext_div = result.divergence_of(best.base.union(best.item))
+        assert best.corrective_factor == pytest.approx(
+            abs(base_div) - abs(ext_div)
+        )
+        assert best.base_divergence == pytest.approx(base_div)
+        assert best.corrected_divergence == pytest.approx(ext_div)
+
+
+class TestRankingAndFilters:
+    def test_sorted_by_factor(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.02)
+        corrections = find_corrective_items(result, k=10)
+        factors = [c.corrective_factor for c in corrections]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_k_limits_output(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.02)
+        assert len(find_corrective_items(result, k=3)) <= 3
+
+    def test_min_factor_filter(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.02)
+        strong = find_corrective_items(result, k=50, min_factor=0.2)
+        assert all(c.corrective_factor > 0.2 for c in strong)
+
+    def test_t_statistic_positive(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.05)
+        best = find_corrective_items(result, k=1)[0]
+        assert best.t_statistic > 0
+
+    def test_str_rendering(self):
+        result = planted_corrective_explorer().explore("error", min_support=0.05)
+        best = find_corrective_items(result, k=1)[0]
+        text = str(best)
+        assert "c_f=" in text and "->" in text
+
+
+class TestNoCorrection:
+    def test_uniform_errors_little_correction(self):
+        rng = np.random.default_rng(5)
+        n = 3000
+        truth = rng.integers(0, 2, n).astype(bool)
+        err = rng.random(n) < 0.2
+        pred = np.where(err, ~truth, truth)
+        table = Table(
+            [
+                CategoricalColumn("a", rng.integers(0, 2, n), [0, 1]),
+                CategoricalColumn("b", rng.integers(0, 2, n), [0, 1]),
+                CategoricalColumn("class", truth.astype(int), [0, 1]),
+                CategoricalColumn("pred", pred.astype(int), [0, 1]),
+            ]
+        )
+        result = DivergenceExplorer(table, "class", "pred").explore(
+            "error", min_support=0.05
+        )
+        corrections = find_corrective_items(result, k=5)
+        # Only statistical fluctuation: any corrective factor is tiny.
+        assert all(c.corrective_factor < 0.05 for c in corrections)

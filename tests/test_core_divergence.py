@@ -1,0 +1,200 @@
+"""Tests for DivergenceExplorer and PatternDivergenceResult.
+
+Covers Definition 3.1 (divergence), Algorithm 1's end-to-end behaviour
+on hand-checkable data, Property 3.1 (refinement never hides
+divergence), and the result-table API.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.exceptions import ReproError, SchemaError
+from repro.tabular.column import CategoricalColumn, ContinuousColumn
+from repro.tabular.table import Table
+
+
+class TestSmallExplorer:
+    """small_table: 8 rows; class [1,0,1,0,1,1,0,0]; pred [1,1,0,0,1,1,1,0]."""
+
+    def test_global_fpr(self, small_explorer):
+        result = small_explorer.explore("fpr", min_support=0.1)
+        # negatives rows: 1,3,6,7; predicted positive among them: 1,6 -> 0.5
+        assert result.global_rate == pytest.approx(0.5)
+
+    def test_pattern_divergence_hand_computed(self, small_explorer):
+        result = small_explorer.explore("fpr", min_support=0.1)
+        red = Itemset([Item("color", "red")])
+        # red rows: 0,1,4,6; negatives among them: 1,6; both predicted
+        # positive -> FPR(red) = 1.0, divergence = +0.5
+        assert result.divergence_of(red) == pytest.approx(0.5)
+
+    def test_record_fields(self, small_explorer):
+        result = small_explorer.explore("fpr", min_support=0.1)
+        rec = result.record(Itemset([Item("color", "red")]))
+        assert rec.support_count == 4
+        assert rec.support == pytest.approx(0.5)
+        assert rec.t_count == 2
+        assert rec.f_count == 0
+        assert rec.rate == pytest.approx(1.0)
+
+    def test_all_rows_pattern_zero_divergence(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.01)
+        # the empty itemset diverges by construction by 0
+        assert result.divergence_of(Itemset()) == pytest.approx(0.0)
+
+    def test_infrequent_pattern_raises(self, small_explorer):
+        result = small_explorer.explore("fpr", min_support=0.9)
+        with pytest.raises(ReproError):
+            result.divergence_of(Itemset([Item("color", "red")]))
+
+    def test_all_bottom_pattern_rate_nan(self):
+        # A pattern whose support set has only positive ground truth has
+        # undefined FPR.
+        table = Table(
+            [
+                CategoricalColumn.from_values("g", ["a", "a", "b", "b"]),
+                CategoricalColumn("class", [1, 1, 0, 0], [0, 1]),
+                CategoricalColumn("pred", [1, 0, 1, 0], [0, 1]),
+            ]
+        )
+        explorer = DivergenceExplorer(table, "class", "pred")
+        result = explorer.explore("fpr", min_support=0.2)
+        rec = result.record(Itemset([Item("g", "a")]))
+        assert math.isnan(rec.rate)
+        assert result.divergence_or_zero(result.key_of(rec.itemset)) == 0.0
+
+
+class TestExplorerValidation:
+    def test_missing_prediction_column(self, small_table):
+        explorer = DivergenceExplorer(small_table.without_columns(["pred"]), "class")
+        with pytest.raises(ReproError, match="posr"):
+            explorer.explore("fpr", min_support=0.1)
+
+    def test_posr_without_prediction(self, small_table):
+        explorer = DivergenceExplorer(small_table.without_columns(["pred"]), "class")
+        result = explorer.explore("posr", min_support=0.1)
+        assert result.global_rate == pytest.approx(0.5)
+
+    def test_class_column_not_an_attribute(self, small_table):
+        with pytest.raises(SchemaError):
+            DivergenceExplorer(
+                small_table, "class", "pred", attributes=["color", "class"]
+            )
+
+    def test_continuous_attribute_rejected(self):
+        table = Table(
+            [
+                ContinuousColumn("v", [1.0, 2.0]),
+                CategoricalColumn("class", [0, 1], [0, 1]),
+                CategoricalColumn("pred", [0, 1], [0, 1]),
+            ]
+        )
+        with pytest.raises(SchemaError, match="discretize"):
+            DivergenceExplorer(table, "class", "pred", attributes=["v"])
+
+    def test_non_binary_class_rejected(self):
+        table = Table(
+            [
+                CategoricalColumn.from_values("a", ["x", "y"]),
+                CategoricalColumn.from_values("class", ["p", "q"]),
+            ]
+        )
+        with pytest.raises(SchemaError):
+            DivergenceExplorer(table, "class")
+
+    def test_no_attributes_rejected(self):
+        table = Table(
+            [
+                CategoricalColumn("class", [0, 1], [0, 1]),
+                CategoricalColumn("pred", [0, 1], [0, 1]),
+            ]
+        )
+        with pytest.raises(SchemaError):
+            DivergenceExplorer(table, "class", "pred")
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("metric", ["fpr", "fnr", "error", "accuracy"])
+    def test_apriori_fpgrowth_same_result(self, small_explorer, metric):
+        a = small_explorer.explore(metric, min_support=0.1, algorithm="apriori")
+        b = small_explorer.explore(metric, min_support=0.1, algorithm="fpgrowth")
+        assert set(a.frequent) == set(b.frequent)
+        for key in a.frequent:
+            assert a.divergence_or_zero(key) == pytest.approx(
+                b.divergence_or_zero(key), nan_ok=True
+            )
+
+
+class TestProperty31:
+    """Property 3.1: a finer partition contains a part with divergence
+    at least as large in absolute value."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_refinement_never_hides_divergence(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 400
+        coarse = rng.integers(0, 2, n)  # 2 coarse bins
+        fine = coarse * 2 + rng.integers(0, 2, n)  # refine each into 2
+        truth = rng.random(n) < 0.5
+        pred = rng.random(n) < 0.3
+        table = Table(
+            [
+                CategoricalColumn("coarse", coarse, [0, 1]),
+                CategoricalColumn("fine", fine, [0, 1, 2, 3]),
+                CategoricalColumn("class", truth.astype(int), [0, 1]),
+                CategoricalColumn("pred", pred.astype(int), [0, 1]),
+            ]
+        )
+        explorer = DivergenceExplorer(table, "class", "pred")
+        result = explorer.explore("fpr", min_support=0.01, max_length=1)
+        for c in (0, 1):
+            coarse_div = result.divergence_of(Itemset([Item("coarse", c)]))
+            fine_divs = []
+            for f in (2 * c, 2 * c + 1):
+                key = result.key_of(Itemset([Item("fine", f)]))
+                if key in result.frequent:
+                    d = result.divergence_of_key(key)
+                    if not math.isnan(d):
+                        fine_divs.append(abs(d))
+            if not math.isnan(coarse_div) and fine_divs:
+                assert max(fine_divs) >= abs(coarse_div) - 1e-12
+
+
+class TestTopK:
+    def test_ranking_keys(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        by_div = result.top_k(3, by="divergence")
+        assert all(
+            by_div[i].divergence >= by_div[i + 1].divergence
+            for i in range(len(by_div) - 1)
+        )
+        by_sup = result.top_k(3, by="support")
+        assert all(
+            by_sup[i].support >= by_sup[i + 1].support
+            for i in range(len(by_sup) - 1)
+        )
+
+    def test_ascending(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        lowest = result.top_k(1, by="divergence", ascending=True)[0]
+        highest = result.top_k(1, by="divergence")[0]
+        assert lowest.divergence <= highest.divergence
+
+    def test_unknown_key_rejected(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        with pytest.raises(ReproError):
+            result.top_k(1, by="fanciness")
+
+    def test_filters(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        rows = result.top_k(10, min_support=0.4, max_length=1)
+        assert all(r.support >= 0.4 and r.length <= 1 for r in rows)
+
+    def test_records_exclude_empty_by_default(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        assert all(len(r.itemset) > 0 for r in result.records())
+        assert len(result.records(include_empty=True)) == len(result.records()) + 1

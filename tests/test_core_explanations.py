@@ -1,0 +1,112 @@
+"""Tests for natural-language explanation templates."""
+
+import pytest
+
+from repro.core.compare import PatternShift
+from repro.core.corrective import CorrectiveItem
+from repro.core.explanations import (
+    describe_contributions,
+    describe_corrective,
+    describe_pattern,
+    describe_shift,
+    metric_phrase,
+    summarize_result,
+)
+from repro.core.items import Item, Itemset
+
+
+@pytest.fixture(scope="module")
+def compas_result():
+    from repro.core.divergence import DivergenceExplorer
+    from repro.datasets import load
+
+    data = load("compas", seed=0)
+    explorer = DivergenceExplorer(data.table, data.true_column, data.pred_column)
+    return explorer.explore("fpr", min_support=0.05)
+
+
+class TestPhrases:
+    def test_known_metric(self):
+        assert metric_phrase("fpr") == "false-positive rate"
+
+    def test_unknown_metric_passthrough(self):
+        assert metric_phrase("custom") == "custom"
+
+
+class TestDescribePattern:
+    def test_contains_the_numbers(self, compas_result):
+        rec = compas_result.top_k(1)[0]
+        text = describe_pattern(compas_result, rec)
+        assert str(rec.itemset) in text
+        assert "false-positive rate" in text
+        assert "higher" in text
+        assert f"t={rec.t_statistic:.1f}" in text
+
+    def test_negative_divergence_says_lower(self, compas_result):
+        rec = compas_result.top_k(1, ascending=True)[0]
+        assert "lower" in describe_pattern(compas_result, rec)
+
+    def test_confidence_scales_with_t(self, compas_result):
+        strong = [r for r in compas_result.records() if r.t_statistic > 5]
+        weak = [r for r in compas_result.records() if 0 < r.t_statistic < 1]
+        if strong:
+            assert "overwhelming" in describe_pattern(compas_result, strong[0])
+        if weak:
+            assert "weak evidence" in describe_pattern(compas_result, weak[0])
+
+
+class TestDescribeContributions:
+    def test_leader_named(self, compas_result):
+        rec = compas_result.top_k(1)[0]
+        contributions = compas_result.shapley(rec.itemset)
+        text = describe_contributions(rec.itemset, contributions)
+        leader = max(contributions, key=lambda i: abs(contributions[i]))
+        assert str(leader) in text
+        assert "largest share" in text
+
+    def test_negative_contributor_called_out(self):
+        pattern = Itemset.from_pairs([("a", 1), ("b", 2)])
+        text = describe_contributions(
+            pattern, {Item("a", 1): 0.2, Item("b", 2): -0.1}
+        )
+        assert "back toward zero" in text
+
+    def test_empty(self):
+        assert "no item contributions" in describe_contributions(Itemset(), {})
+
+
+class TestOtherTemplates:
+    def test_corrective(self):
+        corrective = CorrectiveItem(
+            base=Itemset.from_pairs([("race", "X")]),
+            item=Item("#prior", "0"),
+            base_divergence=0.06,
+            corrected_divergence=0.01,
+            corrective_factor=0.05,
+            t_statistic=2.8,
+        )
+        text = describe_corrective(corrective, "fpr")
+        assert "+0.060 to +0.010" in text
+        assert "0.050" in text
+
+    def test_shift(self):
+        shift = PatternShift(
+            itemset=Itemset.from_pairs([("g", 1)]),
+            divergence_a=0.02,
+            divergence_b=0.15,
+            rate_a=0.1,
+            rate_b=0.25,
+            t_statistic=4.0,
+        )
+        text = describe_shift(shift, "error")
+        assert "worse" in text
+        assert "+0.020 to +0.150" in text
+
+
+class TestSummary:
+    def test_executive_summary(self, compas_result):
+        text = summarize_result(compas_result, k=3)
+        assert "Explored" in text
+        assert "overall false-positive rate" in text
+        # one line per pattern plus header (and maybe a corrective line)
+        assert len(text.splitlines()) >= 4

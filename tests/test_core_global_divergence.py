@@ -1,0 +1,173 @@
+"""Tests for global item divergence (Def. 4.3, Thm. 4.1, Thm. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.global_divergence import (
+    global_divergence_of_itemset,
+    global_item_divergence,
+    individual_item_divergence,
+)
+from repro.core.items import Item, Itemset
+from repro.datasets import artificial
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def full_lattice_explorer(seed: int = 0, n: int = 512):
+    """Data where *every* itemset is frequent at s = 1/n: 2 binary
+    attributes plus uniformly random classes. Then Eq. 8 equals Eq. 6 and
+    the exact Shapley-generalization properties must hold."""
+    rng = np.random.default_rng(seed)
+    cols = [
+        CategoricalColumn("a", rng.integers(0, 2, n), [0, 1]),
+        CategoricalColumn("b", rng.integers(0, 2, n), [0, 1]),
+        CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]),
+        CategoricalColumn("pred", rng.integers(0, 2, n), [0, 1]),
+    ]
+    return DivergenceExplorer(Table(cols), "class", "pred")
+
+
+class TestEfficiency:
+    """Thm 4.1 efficiency: the item global divergences sum to the mean
+    divergence of the complete itemsets."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_efficiency_on_full_lattice(self, seed):
+        explorer = full_lattice_explorer(seed)
+        result = explorer.explore("error", min_support=1e-9)
+        total_global = sum(global_item_divergence(result).values())
+        complete = [
+            result.divergence_or_zero(key)
+            for key in result.frequent
+            if len(key) == 2  # |A| = 2 attributes -> complete itemsets
+        ]
+        # |I_A| = m_a * m_b = 4; absent complete itemsets have empty
+        # support and divergence treated as 0.
+        expected = sum(complete) / 4
+        assert total_global == pytest.approx(expected, abs=1e-10)
+
+
+class TestNullItems:
+    def test_constant_attribute_has_zero_global_divergence(self):
+        rng = np.random.default_rng(1)
+        n = 300
+        cols = [
+            CategoricalColumn("sig", rng.integers(0, 2, n), [0, 1]),
+            CategoricalColumn("noise", np.zeros(n, dtype=int), [0]),
+            CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]),
+            CategoricalColumn("pred", rng.integers(0, 2, n), [0, 1]),
+        ]
+        result = DivergenceExplorer(Table(cols), "class", "pred").explore(
+            "error", min_support=1e-9
+        )
+        gd = global_item_divergence(result)
+        assert gd[Item("noise", 0)] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSymmetry:
+    def test_copied_attributes_have_equal_global_divergence(self):
+        rng = np.random.default_rng(2)
+        n = 600
+        base = rng.integers(0, 2, n)
+        cols = [
+            CategoricalColumn("a", base, [0, 1]),
+            CategoricalColumn("b", base.copy(), [0, 1]),
+            CategoricalColumn("c", rng.integers(0, 2, n), [0, 1]),
+            CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]),
+            CategoricalColumn("pred", base ^ rng.integers(0, 2, n), [0, 1]),
+        ]
+        result = DivergenceExplorer(Table(cols), "class", "pred").explore(
+            "error", min_support=1e-9
+        )
+        gd = global_item_divergence(result)
+        for v in (0, 1):
+            assert gd[Item("a", v)] == pytest.approx(gd[Item("b", v)], abs=1e-10)
+
+
+class TestLinearity:
+    def test_global_divergence_linear_in_divergence(self):
+        explorer = full_lattice_explorer(3)
+        result = explorer.explore("error", min_support=1e-9)
+        rng = np.random.default_rng(0)
+        keys = list(result.frequent)
+        d1 = {k: float(rng.normal()) for k in keys}
+        d2 = {k: float(rng.normal()) for k in keys}
+        d1[frozenset()] = d2[frozenset()] = 0.0
+        gamma1, gamma2 = 0.7, -1.3
+
+        def with_divergence(div_map):
+            import copy
+
+            clone = copy.copy(result)
+            clone._divergence = div_map
+            return clone
+
+        g1 = global_item_divergence(with_divergence(d1))
+        g2 = global_item_divergence(with_divergence(d2))
+        combo = {k: gamma1 * d1[k] + gamma2 * d2[k] for k in keys}
+        g_combo = global_item_divergence(with_divergence(combo))
+        for item in g_combo:
+            assert g_combo[item] == pytest.approx(
+                gamma1 * g1[item] + gamma2 * g2[item], abs=1e-10
+            )
+
+
+class TestGlobalVsIndividual:
+    """Thm 4.2 / Sec. 4.4: joint-only divergence is visible globally but
+    not individually — the artificial dataset's design."""
+
+    def test_artificial_dataset_ranking(self):
+        data = artificial.generate(seed=0, n_rows=12_000)
+        explorer = DivergenceExplorer(
+            data.table, data.true_column, data.pred_column
+        )
+        result = explorer.explore("fpr", min_support=0.05)
+        gd = global_item_divergence(result)
+        # Aggregate |global divergence| per attribute: the three planted
+        # attributes must outrank every noise attribute.
+        per_attr: dict[str, float] = {}
+        for item, value in gd.items():
+            per_attr[item.attribute] = per_attr.get(item.attribute, 0.0) + abs(value)
+        ranked = sorted(per_attr, key=lambda a: -per_attr[a])
+        assert set(ranked[:3]) == {"a", "b", "c"}
+
+    def test_individual_divergence_is_plain_delta(self):
+        data = artificial.generate(seed=0, n_rows=4000)
+        explorer = DivergenceExplorer(
+            data.table, data.true_column, data.pred_column
+        )
+        result = explorer.explore("fpr", min_support=0.05)
+        ind = individual_item_divergence(result)
+        for item, value in ind.items():
+            assert value == pytest.approx(
+                result.divergence_of(Itemset([item])), nan_ok=True
+            )
+
+
+class TestItemsetGlobalDivergence:
+    def test_single_item_matches_bulk_computation(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.01)
+        bulk = global_item_divergence(result)
+        for item, value in bulk.items():
+            direct = global_divergence_of_itemset(result, Itemset([item]))
+            assert direct == pytest.approx(value, abs=1e-12)
+
+    def test_empty_itemset_zero(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.01)
+        assert global_divergence_of_itemset(result, Itemset()) == 0.0
+
+    def test_infrequent_itemset_raises(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.95)
+        with pytest.raises(ReproError):
+            global_divergence_of_itemset(
+                result, Itemset.from_pairs([("color", "red")])
+            )
+
+    def test_pair_itemset_computable(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.01)
+        pattern = Itemset.from_pairs([("color", "red"), ("size", "S")])
+        value = global_divergence_of_itemset(result, pattern)
+        assert np.isfinite(value)

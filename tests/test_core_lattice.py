@@ -1,0 +1,121 @@
+"""Tests for the divergence lattice (Sec. 6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.core.lattice import DivergenceLattice
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def lattice_result():
+    rng = np.random.default_rng(0)
+    n = 2000
+    a = rng.integers(0, 2, n)
+    b = rng.integers(0, 2, n)
+    c = rng.integers(0, 2, n)
+    truth = rng.integers(0, 2, n).astype(bool)
+    # errors high in (a=1, b=1) but corrected when c=1
+    err = rng.random(n) < np.where((a == 1) & (b == 1) & (c == 0), 0.5, 0.1)
+    pred = np.where(err, ~truth, truth)
+    table = Table(
+        [
+            CategoricalColumn("a", a, [0, 1]),
+            CategoricalColumn("b", b, [0, 1]),
+            CategoricalColumn("c", c, [0, 1]),
+            CategoricalColumn("class", truth.astype(int), [0, 1]),
+            CategoricalColumn("pred", pred.astype(int), [0, 1]),
+        ]
+    )
+    explorer = DivergenceExplorer(table, "class", "pred")
+    return explorer.explore("error", min_support=0.02)
+
+
+PATTERN = Itemset.from_pairs([("a", 1), ("b", 1), ("c", 1)])
+
+
+class TestStructure:
+    def test_node_count_is_powerset(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        assert lattice.graph.number_of_nodes() == 8
+
+    def test_edge_count(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        # each node of size k has (3 - k) outgoing edges: 3*4 = 12
+        assert lattice.graph.number_of_edges() == 12
+
+    def test_levels(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        levels = lattice.levels()
+        assert [len(level) for level in levels] == [1, 3, 3, 1]
+        assert levels[0] == [Itemset()]
+        assert levels[-1] == [PATTERN]
+
+    def test_root_divergence_zero(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        assert lattice.divergence(Itemset()) == pytest.approx(0.0)
+
+    def test_edge_deltas_consistent(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        for parent, child, data in lattice.graph.edges(data=True):
+            assert data["delta"] == pytest.approx(
+                lattice.divergence(child) - lattice.divergence(parent)
+            )
+
+    def test_infrequent_pattern_rejected(self, lattice_result):
+        # Re-explore at a support above the 3-item pattern's ~0.125.
+        rng = np.random.default_rng(9)
+        strict = DivergenceLattice  # alias for readability
+        high_support_result = None
+        # Build a result with a high threshold from the same explorer data
+        # by re-running exploration through the result's catalog table is
+        # not possible here, so construct a fresh small explorer instead.
+        n = 400
+        a = rng.integers(0, 2, n)
+        table = Table(
+            [
+                CategoricalColumn("a", a, [0, 1]),
+                CategoricalColumn("b", rng.integers(0, 2, n), [0, 1]),
+                CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]),
+                CategoricalColumn("pred", rng.integers(0, 2, n), [0, 1]),
+            ]
+        )
+        result = DivergenceExplorer(table, "class", "pred").explore(
+            "error", min_support=0.6
+        )
+        with pytest.raises(ReproError):
+            strict(result, Itemset.from_pairs([("a", 1), ("b", 1)]))
+
+
+class TestCorrectiveHighlighting:
+    def test_corrective_node_found(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        corrective = lattice.corrective_nodes()
+        # c=1 corrects (a=1, b=1): the full pattern must be flagged
+        assert PATTERN in corrective
+
+    def test_divergent_nodes_threshold(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        ab = Itemset.from_pairs([("a", 1), ("b", 1)])
+        div_ab = lattice.divergence(ab)
+        assert ab in lattice.divergent_nodes(div_ab - 0.01)
+        assert ab not in lattice.divergent_nodes(div_ab + 0.01)
+
+    def test_render_contains_markers(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        text = lattice.render(threshold=0.05)
+        assert "<>" in text  # corrective rhombus
+        assert "Δ=" in text
+        assert text.count("\n") == 3  # 4 levels
+
+    def test_repr(self, lattice_result):
+        lattice = DivergenceLattice(lattice_result, PATTERN)
+        assert "nodes=8" in repr(lattice)
+
+    def test_result_lattice_method(self, lattice_result):
+        lattice = lattice_result.lattice(PATTERN)
+        assert isinstance(lattice, DivergenceLattice)

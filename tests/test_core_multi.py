@@ -1,0 +1,87 @@
+"""Tests for single-pass multi-metric exploration (paper Sec. 5 note)."""
+
+import math
+
+import pytest
+
+from repro.core.multi import explore_multi
+from repro.exceptions import ReproError
+
+METRICS = ["fpr", "fnr", "error", "accuracy"]
+
+
+class TestEquivalence:
+    def test_matches_individual_explorations(self, small_explorer):
+        multi = explore_multi(small_explorer, METRICS, min_support=0.1)
+        for metric in METRICS:
+            single = small_explorer.explore(metric, min_support=0.1)
+            combined = multi[metric]
+            assert set(single.frequent) == set(combined.frequent)
+            for key in single.frequent:
+                a = single.divergence_or_zero(key)
+                b = combined.divergence_or_zero(key)
+                assert a == pytest.approx(b)
+            assert single.global_rate == pytest.approx(
+                combined.global_rate, nan_ok=True
+            )
+
+    def test_records_identical(self, small_explorer):
+        multi = explore_multi(small_explorer, ["fpr"], min_support=0.1)
+        single = small_explorer.explore("fpr", min_support=0.1)
+        for rec_m, rec_s in zip(
+            multi["fpr"].top_k(10), single.top_k(10)
+        ):
+            assert rec_m.itemset == rec_s.itemset
+            assert rec_m.t_count == rec_s.t_count
+            assert rec_m.f_count == rec_s.f_count
+            assert rec_m.t_statistic == pytest.approx(rec_s.t_statistic)
+
+    def test_downstream_analyses_work(self, small_explorer):
+        multi = explore_multi(small_explorer, METRICS, min_support=0.1)
+        result = multi["error"]
+        top = result.top_k(1)[0]
+        contributions = result.shapley(top.itemset)
+        assert sum(contributions.values()) == pytest.approx(
+            top.divergence, abs=1e-9
+        )
+        assert isinstance(result.global_item_divergence(), dict)
+
+    @pytest.mark.parametrize("algorithm", ["fpgrowth", "apriori", "eclat"])
+    def test_backend_choice(self, small_explorer, algorithm):
+        multi = explore_multi(
+            small_explorer, ["fpr", "fnr"], min_support=0.1, algorithm=algorithm
+        )
+        assert set(multi) == {"fpr", "fnr"}
+
+
+class TestValidation:
+    def test_empty_metric_list(self, small_explorer):
+        with pytest.raises(ReproError):
+            explore_multi(small_explorer, [], min_support=0.1)
+
+    def test_duplicate_metrics(self, small_explorer):
+        with pytest.raises(ReproError):
+            explore_multi(small_explorer, ["fpr", "fpr"], min_support=0.1)
+
+    def test_unknown_metric(self, small_explorer):
+        with pytest.raises(ReproError):
+            explore_multi(small_explorer, ["nope"], min_support=0.1)
+
+
+class TestOnRealData:
+    def test_compas_multi_pass(self):
+        from repro.core.divergence import DivergenceExplorer
+        from repro.datasets import load
+
+        data = load("compas", seed=0)
+        explorer = DivergenceExplorer(
+            data.table, data.true_column, data.pred_column
+        )
+        multi = explore_multi(explorer, METRICS, min_support=0.1)
+        # error and accuracy rates are complements on every pattern
+        err, acc = multi["error"], multi["accuracy"]
+        for key in err.frequent:
+            rate_sum = (
+                err.record_for_key(key).rate + acc.record_for_key(key).rate
+            )
+            assert math.isnan(rate_sum) or rate_sum == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.outcomes (Def. 3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import (
+    BOTTOM,
+    FALSE,
+    OUTCOME_METRICS,
+    TRUE,
+    outcome_channels,
+    outcome_metric,
+    positive_rate,
+)
+from repro.exceptions import ReproError
+
+V = np.array([True, True, False, False])
+U = np.array([True, False, True, False])
+# rows: TP, FN, FP, TN
+
+
+class TestMetricEncodings:
+    def test_fpr_encoding(self):
+        out = outcome_metric("fpr")(V, U)
+        assert out.tolist() == [BOTTOM, BOTTOM, TRUE, FALSE]
+
+    def test_fnr_encoding(self):
+        out = outcome_metric("fnr")(V, U)
+        assert out.tolist() == [FALSE, TRUE, BOTTOM, BOTTOM]
+
+    def test_error_no_bottom(self):
+        out = outcome_metric("error")(V, U)
+        assert out.tolist() == [FALSE, TRUE, TRUE, FALSE]
+
+    def test_accuracy_complements_error(self):
+        err = outcome_metric("error")(V, U)
+        acc = outcome_metric("accuracy")(V, U)
+        assert ((err == TRUE) == (acc == FALSE)).all()
+
+    def test_tpr_encoding(self):
+        out = outcome_metric("tpr")(V, U)
+        assert out.tolist() == [TRUE, FALSE, BOTTOM, BOTTOM]
+
+    def test_tnr_encoding(self):
+        out = outcome_metric("tnr")(V, U)
+        assert out.tolist() == [BOTTOM, BOTTOM, FALSE, TRUE]
+
+    def test_ppv_scopes_predicted_positives(self):
+        out = outcome_metric("ppv")(V, U)
+        assert out.tolist() == [TRUE, BOTTOM, FALSE, BOTTOM]
+
+    def test_fdr_complements_ppv(self):
+        ppv = outcome_metric("ppv")(V, U)
+        fdr = outcome_metric("fdr")(V, U)
+        scoped = ppv != BOTTOM
+        assert ((ppv[scoped] == TRUE) == (fdr[scoped] == FALSE)).all()
+
+    def test_for_scopes_predicted_negatives(self):
+        out = outcome_metric("for")(V, U)
+        assert out.tolist() == [BOTTOM, TRUE, BOTTOM, FALSE]
+
+    def test_npv_complements_for(self):
+        fomr = outcome_metric("for")(V, U)
+        npv = outcome_metric("npv")(V, U)
+        scoped = fomr != BOTTOM
+        assert ((fomr[scoped] == TRUE) == (npv[scoped] == FALSE)).all()
+
+    def test_posr_is_ground_truth(self):
+        out = outcome_metric("posr")(V, U)
+        assert (out == TRUE).tolist() == V.tolist()
+
+    def test_predr_is_prediction(self):
+        out = outcome_metric("predr")(V, U)
+        assert (out == TRUE).tolist() == U.tolist()
+
+    def test_all_metrics_partition_rows(self):
+        for name, fn in OUTCOME_METRICS.items():
+            out = fn(V, U)
+            assert set(np.unique(out)) <= {TRUE, FALSE, BOTTOM}, name
+
+
+class TestValidation:
+    def test_unknown_metric(self):
+        with pytest.raises(ReproError, match="available"):
+            outcome_metric("nope")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            outcome_metric("fpr")(V, U[:2])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ReproError):
+            outcome_metric("fpr")(np.array([0, 2]), np.array([0, 1]))
+
+    def test_zero_one_ints_accepted(self):
+        out = outcome_metric("error")(np.array([0, 1]), np.array([1, 1]))
+        assert out.tolist() == [TRUE, FALSE]
+
+
+class TestChannelsAndRates:
+    def test_outcome_channels_one_hot(self):
+        out = outcome_metric("fpr")(V, U)
+        ch = outcome_channels(out)
+        assert ch.shape == (4, 2)
+        assert ch.tolist() == [[0, 0], [0, 0], [1, 0], [0, 1]]
+
+    def test_positive_rate(self):
+        assert positive_rate(3, 1) == 0.75
+
+    def test_positive_rate_empty_is_nan(self):
+        assert math.isnan(positive_rate(0, 0))
+
+    def test_rate_from_fpr_channels_matches_definition(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(500) < 0.5
+        u = rng.random(500) < 0.3
+        out = outcome_metric("fpr")(v, u)
+        t = int((out == TRUE).sum())
+        f = int((out == FALSE).sum())
+        manual_fpr = np.sum(u & ~v) / np.sum(~v)
+        assert positive_rate(t, f) == pytest.approx(manual_fpr)

@@ -1,0 +1,86 @@
+"""Tests for ε-redundancy pruning (Sec. 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.pruning import is_redundant, prune_redundant, pruned_count_by_epsilon
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def explorer_with_redundancy():
+    """Errors depend only on attribute g; any pattern extending (g=...)
+    with another attribute is redundant."""
+    rng = np.random.default_rng(0)
+    n = 3000
+    g = rng.integers(0, 2, n)
+    other = rng.integers(0, 2, n)
+    truth = rng.integers(0, 2, n).astype(bool)
+    err = rng.random(n) < np.where(g == 1, 0.5, 0.1)
+    pred = np.where(err, ~truth, truth)
+    table = Table(
+        [
+            CategoricalColumn("g", g, [0, 1]),
+            CategoricalColumn("other", other, [0, 1]),
+            CategoricalColumn("class", truth.astype(int), [0, 1]),
+            CategoricalColumn("pred", pred.astype(int), [0, 1]),
+        ]
+    )
+    return DivergenceExplorer(table, "class", "pred")
+
+
+class TestPruning:
+    def test_redundant_extensions_removed(self):
+        result = explorer_with_redundancy().explore("error", min_support=0.05)
+        kept = prune_redundant(result, epsilon=0.05)
+        kept_sets = {r.itemset for r in kept}
+        from repro.core.items import Item, Itemset
+
+        assert Itemset([Item("g", 1)]) in kept_sets
+        # the 2-item extensions of g=1 add (almost) nothing
+        assert all(len(i) == 1 for i in kept_sets)
+
+    def test_marginal_contribution_definition(self):
+        result = explorer_with_redundancy().explore("error", min_support=0.05)
+        for key in result.frequent:
+            if len(key) == 0:
+                continue
+            redundant = is_redundant(result, key, epsilon=0.03)
+            manual = any(
+                abs(
+                    result.divergence_of_key(key)
+                    - result.divergence_of_key(key - {alpha})
+                )
+                <= 0.03
+                for alpha in key
+            )
+            assert redundant == manual
+
+    def test_epsilon_zero_keeps_most(self):
+        result = explorer_with_redundancy().explore("error", min_support=0.05)
+        assert len(prune_redundant(result, 0.0)) >= len(
+            prune_redundant(result, 0.1)
+        )
+
+    def test_monotone_in_epsilon(self):
+        result = explorer_with_redundancy().explore("error", min_support=0.05)
+        counts = pruned_count_by_epsilon(result, [0.0, 0.01, 0.05, 0.1, 0.5])
+        values = [counts[e] for e in sorted(counts)]
+        assert values == sorted(values, reverse=True)
+
+    def test_sorted_by_divergence(self):
+        result = explorer_with_redundancy().explore("error", min_support=0.05)
+        kept = prune_redundant(result, 0.0)
+        divs = [r.divergence for r in kept]
+        assert divs == sorted(divs, reverse=True)
+
+    def test_negative_epsilon_rejected(self):
+        result = explorer_with_redundancy().explore("error", min_support=0.05)
+        with pytest.raises(ReproError):
+            prune_redundant(result, -0.1)
+
+    def test_huge_epsilon_prunes_everything(self):
+        result = explorer_with_redundancy().explore("error", min_support=0.05)
+        assert prune_redundant(result, 10.0) == []

@@ -1,0 +1,123 @@
+"""Tests for FDR-controlled significance ranking."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.ranking import (
+    benjamini_hochberg,
+    significant_patterns,
+    t_to_p_value,
+)
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+class TestPValues:
+    def test_matches_scipy_normal(self):
+        for t in (0.0, 0.5, 1.96, 3.0, 7.0):
+            expected = 2 * (1 - stats.norm.cdf(t))
+            assert t_to_p_value(t) == pytest.approx(expected, abs=1e-12)
+
+    def test_edge_cases(self):
+        assert t_to_p_value(float("nan")) == 1.0
+        assert t_to_p_value(float("inf")) == 0.0
+        assert t_to_p_value(0.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        ps = [t_to_p_value(t) for t in np.linspace(0, 6, 30)]
+        assert ps == sorted(ps, reverse=True)
+
+
+class TestBenjaminiHochberg:
+    def test_empty(self):
+        assert benjamini_hochberg([]) == []
+
+    def test_all_tiny_p_all_kept(self):
+        assert benjamini_hochberg([1e-9, 1e-8, 1e-7]) == [True] * 3
+
+    def test_all_large_p_none_kept(self):
+        assert benjamini_hochberg([0.5, 0.9, 0.7]) == [False] * 3
+
+    def test_textbook_example(self):
+        # Classic BH worked example at alpha = 0.05.
+        p = [0.01, 0.04, 0.03, 0.005, 0.55]
+        keep = benjamini_hochberg(p, alpha=0.05)
+        assert keep == [True, True, True, True, False]
+
+    def test_step_up_behaviour(self):
+        # p = [0.04, 0.049]: p_(2)=0.049 <= 0.05*2/2 -> both kept even
+        # though p_(1)=0.04 > 0.025 (the step-up property).
+        assert benjamini_hochberg([0.04, 0.049], alpha=0.05) == [True, True]
+
+    def test_keeps_alignment_with_input_order(self):
+        p = [0.9, 0.0001, 0.8]
+        keep = benjamini_hochberg(p, alpha=0.05)
+        assert keep == [False, True, False]
+
+
+class TestSignificantPatterns:
+    def planted(self, seed=0, n=4000):
+        rng = np.random.default_rng(seed)
+        g = rng.integers(0, 2, n)
+        noise = rng.integers(0, 2, n)
+        truth = rng.integers(0, 2, n).astype(bool)
+        err = rng.random(n) < np.where(g == 1, 0.40, 0.10)
+        pred = np.where(err, ~truth, truth)
+        table = Table(
+            [
+                CategoricalColumn("g", g, [0, 1]),
+                CategoricalColumn("noise", noise, [0, 1]),
+                CategoricalColumn("class", truth.astype(int), [0, 1]),
+                CategoricalColumn("pred", pred.astype(int), [0, 1]),
+            ]
+        )
+        return DivergenceExplorer(table, "class", "pred").explore(
+            "error", min_support=0.05
+        )
+
+    def test_planted_signal_survives(self):
+        result = self.planted()
+        survivors = significant_patterns(result, alpha=0.05)
+        assert survivors
+        top = survivors[0]
+        assert any(i.attribute == "g" for i in top.itemset)
+
+    def test_sorted_by_abs_divergence(self):
+        result = self.planted()
+        survivors = significant_patterns(result, alpha=0.05)
+        mags = [abs(r.divergence) for r in survivors]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_pure_noise_mostly_filtered(self):
+        rng = np.random.default_rng(5)
+        n = 2000
+        truth = rng.integers(0, 2, n).astype(bool)
+        err = rng.random(n) < 0.2
+        pred = np.where(err, ~truth, truth)
+        table = Table(
+            [
+                CategoricalColumn("a", rng.integers(0, 2, n), [0, 1]),
+                CategoricalColumn("b", rng.integers(0, 2, n), [0, 1]),
+                CategoricalColumn("class", truth.astype(int), [0, 1]),
+                CategoricalColumn("pred", pred.astype(int), [0, 1]),
+            ]
+        )
+        result = DivergenceExplorer(table, "class", "pred").explore(
+            "error", min_support=0.05
+        )
+        survivors = significant_patterns(result, alpha=0.05)
+        assert len(survivors) <= 2  # FDR keeps false discoveries rare
+
+    def test_k_caps_output(self):
+        result = self.planted()
+        assert len(significant_patterns(result, alpha=0.5, k=2)) <= 2
+
+    def test_stricter_alpha_fewer_survivors(self):
+        result = self.planted()
+        loose = significant_patterns(result, alpha=0.2)
+        strict = significant_patterns(result, alpha=0.0001)
+        assert len(strict) <= len(loose)

@@ -1,0 +1,78 @@
+"""Tests for result/lattice serialization."""
+
+import pytest
+
+from repro.core.serialize import (
+    lattice_to_dot,
+    result_from_json,
+    result_to_json,
+)
+from repro.exceptions import ReproError
+
+
+class TestResultRoundTrip:
+    def test_roundtrip_preserves_everything(self, small_explorer):
+        result = small_explorer.explore("fpr", min_support=0.1)
+        restored = result_from_json(result_to_json(result))
+        assert restored.metric == result.metric
+        assert restored.min_support == result.min_support
+        assert set(restored.frequent) == set(result.frequent)
+        for key in result.frequent:
+            assert restored.frequent.counts(key).tolist() == (
+                result.frequent.counts(key).tolist()
+            )
+            assert restored.divergence_or_zero(key) == pytest.approx(
+                result.divergence_or_zero(key)
+            )
+
+    def test_roundtrip_records_identical(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        restored = result_from_json(result_to_json(result))
+        for a, b in zip(result.top_k(10), restored.top_k(10)):
+            assert a.itemset == b.itemset
+            assert a.t_statistic == pytest.approx(b.t_statistic)
+
+    def test_downstream_analyses_on_restored(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        restored = result_from_json(result_to_json(result))
+        top = restored.top_k(1)[0]
+        contributions = restored.shapley(top.itemset)
+        assert sum(contributions.values()) == pytest.approx(
+            top.divergence, abs=1e-9
+        )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ReproError):
+            result_from_json("{not json")
+
+    def test_wrong_version_rejected(self, small_explorer):
+        result = small_explorer.explore("fpr", min_support=0.1)
+        text = result_to_json(result).replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        with pytest.raises(ReproError, match="version"):
+            result_from_json(text)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ReproError):
+            result_from_json('{"format_version": 1}')
+
+
+class TestLatticeDot:
+    def test_dot_structure(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        top = result.top_k(1, by="support")[0]
+        lattice = result.lattice(top.itemset)
+        dot = lattice_to_dot(lattice, threshold=0.01)
+        assert dot.startswith("digraph lattice {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == lattice.graph.number_of_edges()
+        # every node declared
+        assert dot.count("label=") >= lattice.graph.number_of_nodes()
+
+    def test_corrective_nodes_are_diamonds(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        for rec in result.top_k(5, by="support"):
+            lattice = result.lattice(rec.itemset)
+            dot = lattice_to_dot(lattice)
+            assert dot.count("shape=diamond") == len(lattice.corrective_nodes())

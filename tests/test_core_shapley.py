@@ -1,0 +1,117 @@
+"""Tests for local Shapley item contributions (Def. 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.core.shapley import shapley_contributions, shapley_efficiency_gap
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def random_explorer(seed: int, n: int = 300, n_attrs: int = 3):
+    rng = np.random.default_rng(seed)
+    cols = [
+        CategoricalColumn(f"a{j}", rng.integers(0, 2, n), [0, 1])
+        for j in range(n_attrs)
+    ]
+    cols.append(CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]))
+    cols.append(CategoricalColumn("pred", rng.integers(0, 2, n), [0, 1]))
+    return DivergenceExplorer(Table(cols), "class", "pred")
+
+
+class TestEfficiency:
+    """Shapley contributions sum to the pattern's divergence."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("metric", ["fpr", "error"])
+    def test_sum_equals_divergence(self, seed, metric):
+        result = random_explorer(seed).explore(metric, min_support=0.02)
+        for rec in result.top_k(5):
+            gap = shapley_efficiency_gap(result, rec.itemset)
+            assert gap < 1e-10
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_efficiency_property(self, seed):
+        result = random_explorer(seed).explore("error", min_support=0.05)
+        records = result.top_k(3, by="abs_divergence")
+        for rec in records:
+            assert shapley_efficiency_gap(result, rec.itemset) < 1e-10
+
+
+class TestSymmetryAndNull:
+    def test_identical_items_get_equal_contribution(self):
+        # Two attributes that are copies of each other: their items must
+        # receive identical Shapley contributions in any shared pattern.
+        rng = np.random.default_rng(7)
+        n = 400
+        base = rng.integers(0, 2, n)
+        truth = rng.integers(0, 2, n)
+        pred = (base | rng.integers(0, 2, n)).astype(int)
+        table = Table(
+            [
+                CategoricalColumn("a", base, [0, 1]),
+                CategoricalColumn("b", base.copy(), [0, 1]),
+                CategoricalColumn("class", truth, [0, 1]),
+                CategoricalColumn("pred", pred, [0, 1]),
+            ]
+        )
+        result = DivergenceExplorer(table, "class", "pred").explore(
+            "error", min_support=0.05
+        )
+        pattern = Itemset.from_pairs([("a", 1), ("b", 1)])
+        contrib = shapley_contributions(result, pattern)
+        assert contrib[Item("a", 1)] == pytest.approx(contrib[Item("b", 1)])
+
+    def test_null_item_gets_zero(self):
+        # Attribute "noise" is constant, so adding its item never changes
+        # any support set: its contribution must be 0.
+        rng = np.random.default_rng(3)
+        n = 200
+        sig = rng.integers(0, 2, n)
+        table = Table(
+            [
+                CategoricalColumn("sig", sig, [0, 1]),
+                CategoricalColumn("noise", np.zeros(n, dtype=int), [0]),
+                CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]),
+                CategoricalColumn("pred", sig, [0, 1]),
+            ]
+        )
+        result = DivergenceExplorer(table, "class", "pred").explore(
+            "error", min_support=0.05
+        )
+        pattern = Itemset.from_pairs([("sig", 1), ("noise", 0)])
+        contrib = shapley_contributions(result, pattern)
+        assert contrib[Item("noise", 0)] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAPI:
+    def test_single_item_contribution_is_own_divergence(self):
+        result = random_explorer(0).explore("error", min_support=0.02)
+        rec = result.top_k(1, max_length=1)[0]
+        contrib = shapley_contributions(result, rec.itemset)
+        (value,) = contrib.values()
+        assert value == pytest.approx(rec.divergence)
+
+    def test_empty_itemset(self):
+        result = random_explorer(0).explore("error", min_support=0.02)
+        assert shapley_contributions(result, Itemset()) == {}
+
+    def test_infrequent_pattern_raises(self):
+        result = random_explorer(0).explore("error", min_support=0.4)
+        with pytest.raises(ReproError):
+            shapley_contributions(
+                result, Itemset.from_pairs([("a0", 0), ("a1", 0), ("a2", 0)])
+            )
+
+    def test_result_method_delegates(self, small_explorer):
+        result = small_explorer.explore("error", min_support=0.1)
+        rec = result.top_k(1)[0]
+        assert result.shapley(rec.itemset) == shapley_contributions(
+            result, rec.itemset
+        )

@@ -1,0 +1,87 @@
+"""Tests for sampled Shapley contributions (convergence to exact)."""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Itemset
+from repro.core.shapley import shapley_contributions
+from repro.core.shapley_sampling import shapley_contributions_sampled
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+@pytest.fixture(scope="module")
+def wide_result():
+    """6 binary attributes so length-5 patterns exist and sampling is
+    genuinely cheaper than 5! enumeration."""
+    rng = np.random.default_rng(0)
+    n = 3000
+    cols = [
+        CategoricalColumn(f"a{j}", rng.integers(0, 2, n), [0, 1])
+        for j in range(6)
+    ]
+    truth = rng.integers(0, 2, n)
+    # errors concentrated where a0=1 and a1=1
+    err = rng.random(n) < np.where(
+        (cols[0].codes == 1) & (cols[1].codes == 1), 0.4, 0.1
+    )
+    pred = np.where(err, 1 - truth, truth)
+    cols.append(CategoricalColumn("class", truth, [0, 1]))
+    cols.append(CategoricalColumn("pred", pred, [0, 1]))
+    explorer = DivergenceExplorer(Table(cols), "class", "pred")
+    return explorer.explore("error", min_support=0.01)
+
+
+class TestConvergence:
+    def test_converges_to_exact(self, wide_result):
+        rec = wide_result.top_k(1, max_length=4)[0]
+        exact = shapley_contributions(wide_result, rec.itemset)
+        approx = shapley_contributions_sampled(
+            wide_result, rec.itemset, n_samples=3000, seed=0
+        )
+        for item, value in exact.items():
+            assert approx[item] == pytest.approx(value, abs=0.02)
+
+    def test_efficiency_holds_exactly_per_sample(self, wide_result):
+        # Each permutation's marginals telescope, so efficiency holds
+        # exactly for the estimate, not just in expectation.
+        rec = wide_result.top_k(1, max_length=5)[0]
+        approx = shapley_contributions_sampled(
+            wide_result, rec.itemset, n_samples=37, seed=1
+        )
+        assert sum(approx.values()) == pytest.approx(
+            wide_result.divergence_or_zero(wide_result.key_of(rec.itemset)),
+            abs=1e-9,
+        )
+
+    def test_exact_fallback_for_short_patterns(self, wide_result):
+        rec = wide_result.top_k(1, max_length=2)[0]
+        exact = shapley_contributions(wide_result, rec.itemset)
+        approx = shapley_contributions_sampled(
+            wide_result, rec.itemset, n_samples=5, seed=0
+        )
+        assert approx == exact  # closed form used, no sampling noise
+
+    def test_deterministic_given_seed(self, wide_result):
+        rec = wide_result.top_k(1, max_length=5)[0]
+        a = shapley_contributions_sampled(wide_result, rec.itemset, 50, seed=3)
+        b = shapley_contributions_sampled(wide_result, rec.itemset, 50, seed=3)
+        assert a == b
+
+
+class TestValidation:
+    def test_empty_itemset(self, wide_result):
+        assert shapley_contributions_sampled(wide_result, Itemset()) == {}
+
+    def test_zero_samples_rejected(self, wide_result):
+        rec = wide_result.top_k(1)[0]
+        with pytest.raises(ReproError):
+            shapley_contributions_sampled(wide_result, rec.itemset, n_samples=0)
+
+    def test_infrequent_pattern_rejected(self, wide_result):
+        ghost = Itemset.from_pairs([(f"a{j}", 1) for j in range(6)])
+        if ghost not in wide_result:
+            with pytest.raises(ReproError):
+                shapley_contributions_sampled(wide_result, ghost)

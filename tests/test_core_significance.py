@@ -1,0 +1,87 @@
+"""Unit tests for repro.core.significance (paper Sec. 3.3, Eq. 3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.significance import (
+    beta_moments,
+    divergence_t_statistic,
+    welch_t_statistic,
+)
+
+
+class TestBetaMoments:
+    def test_matches_scipy_beta(self):
+        for k_pos, k_neg in [(0, 0), (3, 7), (100, 1), (5, 5)]:
+            mean, var = beta_moments(k_pos, k_neg)
+            dist = stats.beta(k_pos + 1, k_neg + 1)
+            assert mean == pytest.approx(dist.mean())
+            assert var == pytest.approx(dist.var())
+
+    def test_uniform_prior_at_zero_counts(self):
+        mean, var = beta_moments(0, 0)
+        assert mean == 0.5
+        assert var == pytest.approx(1 / 12)
+
+    def test_stable_on_all_bottom_itemset(self):
+        # The paper's motivation: no NaN/zero-division when k+ + k- = 0.
+        mean, var = beta_moments(0, 0)
+        assert math.isfinite(mean) and math.isfinite(var)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            beta_moments(-1, 0)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_moments_in_valid_ranges(self, k_pos, k_neg):
+        mean, var = beta_moments(k_pos, k_neg)
+        assert 0 < mean < 1
+        assert 0 < var <= 1 / 12
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_approaches_empirical_rate(self, k_pos, k_neg):
+        mean, _ = beta_moments(k_pos, k_neg)
+        total = k_pos + k_neg
+        if total > 0:
+            empirical = k_pos / total
+            assert abs(mean - empirical) <= 1 / (total + 2) + 1e-12
+
+
+class TestWelch:
+    def test_symmetric(self):
+        assert welch_t_statistic(0.2, 0.01, 0.5, 0.02) == welch_t_statistic(
+            0.5, 0.02, 0.2, 0.01
+        )
+
+    def test_zero_when_equal_means(self):
+        assert welch_t_statistic(0.3, 0.0, 0.3, 0.0) == 0.0
+
+    def test_infinite_when_certain_and_different(self):
+        assert welch_t_statistic(0.2, 0.0, 0.3, 0.0) == math.inf
+
+    def test_known_value(self):
+        t = welch_t_statistic(0.5, 0.01, 0.3, 0.03)
+        assert t == pytest.approx(0.2 / math.sqrt(0.04))
+
+
+class TestDivergenceT:
+    def test_more_data_more_significant(self):
+        small = divergence_t_statistic(6, 4, 500, 500)
+        large = divergence_t_statistic(60, 40, 500, 500)
+        assert large > small
+
+    def test_zero_for_identical_rates(self):
+        t = divergence_t_statistic(50, 50, 50, 50)
+        assert t == 0.0
+
+    def test_paper_scale_sanity(self):
+        # A subgroup of ~800 with rate 0.31 vs a dataset rate 0.09 should
+        # be strongly significant (paper Table 2 reports t around 7).
+        t = divergence_t_statistic(250, 550, 400, 4100)
+        assert t > 5

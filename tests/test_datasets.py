@@ -1,0 +1,152 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, dataset_characteristics, load
+from repro.datasets import artificial, compas
+from repro.datasets.registry import attach_predictions
+from repro.exceptions import DatasetError
+from repro.ml.metrics import false_negative_rate, false_positive_rate
+
+# Paper Table 4 schema characteristics.
+TABLE4 = {
+    "adult": (45_222, 11, 4, 7),
+    "bank": (11_162, 15, 6, 9),
+    "compas": (6_172, 6, 2, 4),
+    "german": (1_000, 21, 7, 14),
+    "heart": (296, 13, 5, 8),
+    "artificial": (50_000, 10, 0, 10),
+}
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(DATASET_NAMES) == set(TABLE4)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load("mnist")
+
+    def test_unknown_classifier_rejected(self):
+        with pytest.raises(DatasetError):
+            load("heart", classifier="svm")
+
+    def test_load_is_cached(self):
+        a = load("compas", seed=0)
+        b = load("compas", seed=0)
+        assert a is b
+
+    def test_different_seeds_not_cached_together(self):
+        a = load("compas", seed=0)
+        b = load("compas", seed=123)
+        assert a is not b
+
+    def test_characteristics_match_table4(self):
+        for row in dataset_characteristics(seed=0):
+            expected = TABLE4[row["dataset"]]
+            assert (
+                row["|D|"],
+                row["|A|"],
+                row["|A|_cont"],
+                row["|A|_cat"],
+            ) == expected
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("name", ["compas", "heart", "german"])
+    def test_deterministic(self, name):
+        a = load(name, seed=5, classifier="logistic")
+        b = load(name, seed=5, classifier="logistic")
+        assert a.table.to_dict() == b.table.to_dict()
+
+    @pytest.mark.parametrize("name", ["heart", "german"])
+    def test_predictions_attached(self, name):
+        data = load(name, seed=0, classifier="logistic")
+        assert data.pred_column == "pred"
+        assert "pred" in data.table
+
+    @pytest.mark.parametrize("name", ["heart", "german"])
+    def test_attributes_all_categorical(self, name):
+        data = load(name, seed=0, classifier="logistic")
+        for attr in data.attributes:
+            assert data.table.column(attr).is_categorical
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            compas.generate(n_rows=3)
+
+    def test_classifier_has_signal(self):
+        data = load("heart", seed=0, classifier="logistic")
+        pred = np.asarray(
+            data.table.categorical("pred").values_as_objects()
+        ).astype(bool)
+        truth = data.truth_array()
+        assert np.mean(pred == truth) > 0.6
+
+
+class TestCompas:
+    def test_paper_scale_error_rates(self):
+        data = load("compas", seed=0)
+        truth = data.truth_array()
+        pred = np.asarray(
+            data.table.categorical("pred").values_as_objects()
+        ).astype(bool)
+        # Paper: FPR 0.088, FNR 0.698 — conservative classifier shape.
+        assert 0.05 < false_positive_rate(truth, pred) < 0.15
+        assert 0.6 < false_negative_rate(truth, pred) < 0.8
+
+    def test_priors_bins_variants(self):
+        coarse = compas.generate(seed=0, priors_bins=3)
+        fine = compas.generate(seed=0, priors_bins=6)
+        assert coarse.table.categorical("#prior").cardinality == 3
+        assert fine.table.categorical("#prior").cardinality == 6
+
+    def test_invalid_priors_bins(self):
+        with pytest.raises(DatasetError):
+            compas.generate(priors_bins=4)
+
+    def test_age_labels_match_paper(self):
+        data = compas.generate(seed=0)
+        assert data.table.categorical("age").categories == ["<25", "25-45", ">45"]
+
+    def test_raw_table_has_continuous_columns(self):
+        data = compas.generate(seed=0)
+        assert set(data.raw_table.continuous_names) == {"age", "#prior"}
+
+
+class TestArtificial:
+    def test_exact_paper_construction(self):
+        data = artificial.generate(seed=0, n_rows=10_000)
+        table = data.table
+        a = np.asarray(table.categorical("a").values_as_objects())
+        b = np.asarray(table.categorical("b").values_as_objects())
+        c = np.asarray(table.categorical("c").values_as_objects())
+        pred = np.asarray(table.categorical("pred").values_as_objects()).astype(bool)
+        truth = np.asarray(table.categorical("class").values_as_objects()).astype(bool)
+        rule = (a == b) & (b == c)
+        # classifier = the rule
+        assert (pred == rule).all()
+        # half the rule instances were flipped
+        flipped = truth[rule] != rule[rule]
+        assert flipped.sum() == rule.sum() // 2
+        # no flips outside the rule
+        assert (truth[~rule] == rule[~rule]).all()
+
+    def test_attributes_binary_balanced(self):
+        data = artificial.generate(seed=1, n_rows=20_000)
+        for name in data.attributes:
+            counts = data.table.categorical(name).value_counts()
+            frac = counts[1] / 20_000
+            assert 0.47 < frac < 0.53
+
+
+class TestAttachPredictions:
+    def test_mutates_dataset(self):
+        from repro.datasets import heart
+
+        data = heart.generate(seed=0)
+        assert data.pred_column is None
+        attach_predictions(data, classifier="tree", seed=0)
+        assert data.pred_column == "pred"
+        assert data.table.categorical("pred").cardinality == 2

@@ -1,0 +1,172 @@
+"""Failure-injection and degenerate-input tests across the stack.
+
+These exercise the situations a real audit hits: perfect classifiers,
+constant classifiers, all-BOTTOM metrics, single-value attributes,
+heavily imbalanced classes, duplicate rows and pathological supports.
+The contract under test: never crash, never emit a wrong number —
+degenerate statistics surface as NaN or empty results.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.core.multi import explore_multi
+from repro.exceptions import MiningError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def build(attr_values, truth, pred):
+    n = len(truth)
+    cols = [
+        CategoricalColumn.from_values(name, values)
+        for name, values in attr_values.items()
+    ]
+    cols.append(CategoricalColumn("class", list(truth), [0, 1]))
+    cols.append(CategoricalColumn("pred", list(pred), [0, 1]))
+    assert all(len(c) == n for c in cols)
+    return DivergenceExplorer(Table(cols), "class", "pred")
+
+
+class TestDegenerateClassifiers:
+    def test_perfect_classifier_zero_divergence(self):
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 2, 200)
+        explorer = build({"a": rng.integers(0, 2, 200).tolist()}, truth, truth)
+        result = explorer.explore("error", min_support=0.1)
+        for key in result.frequent:
+            assert result.divergence_or_zero(key) == 0.0
+
+    def test_always_positive_classifier(self):
+        rng = np.random.default_rng(1)
+        truth = rng.integers(0, 2, 200)
+        pred = np.ones(200, dtype=int)
+        explorer = build({"a": rng.integers(0, 2, 200).tolist()}, truth, pred)
+        # FPR is 1 everywhere it is defined; divergence 0 for all patterns.
+        result = explorer.explore("fpr", min_support=0.1)
+        assert result.global_rate == 1.0
+        for key in result.frequent:
+            div = result._divergence[key]
+            assert math.isnan(div) or div == 0.0
+        # FNR has no FALSE outcomes either (no u-negative): rate NaN-free
+        result = explorer.explore("fnr", min_support=0.1)
+        assert result.global_rate == 0.0
+
+    def test_all_bottom_metric_global_rate_nan(self):
+        # Ground truth all positive -> FPR undefined everywhere.
+        truth = np.ones(50, dtype=int)
+        pred = np.zeros(50, dtype=int)
+        explorer = build({"a": ["x"] * 25 + ["y"] * 25}, truth, pred)
+        result = explorer.explore("fpr", min_support=0.1)
+        assert math.isnan(result.global_rate)
+        # Bayesian significance still finite (the paper's Sec. 3.3 point).
+        rec = result.record(Itemset([Item("a", "x")]))
+        assert math.isfinite(rec.t_statistic)
+
+
+class TestDegenerateData:
+    def test_single_value_attribute(self):
+        rng = np.random.default_rng(2)
+        truth = rng.integers(0, 2, 100)
+        pred = rng.integers(0, 2, 100)
+        explorer = build({"const": ["only"] * 100}, truth, pred)
+        result = explorer.explore("error", min_support=0.01)
+        # the single item covers everything: divergence exactly 0
+        assert result.divergence_of(
+            Itemset([Item("const", "only")])
+        ) == pytest.approx(0.0)
+
+    def test_duplicate_rows_scale_counts(self):
+        truth = [1, 0] * 30
+        pred = [1, 1] * 30
+        explorer = build({"a": ["x", "y"] * 30}, truth, pred)
+        result = explorer.explore("error", min_support=0.1)
+        rec = result.record(Itemset([Item("a", "x")]))
+        assert rec.support_count == 30
+
+    def test_two_rows_minimum(self):
+        explorer = build({"a": ["x", "y"]}, [1, 0], [0, 0])
+        result = explorer.explore("error", min_support=0.5)
+        assert len(result) >= 1
+
+    def test_support_one_requires_universal_pattern(self):
+        explorer = build({"a": ["x", "x", "x"]}, [1, 0, 1], [1, 1, 1])
+        result = explorer.explore("error", min_support=1.0)
+        assert Itemset([Item("a", "x")]) in result
+
+    def test_extreme_imbalance(self):
+        n = 1000
+        truth = [1] * 995 + [0] * 5
+        pred = [1] * n
+        explorer = build(
+            {"a": (["x"] * 500 + ["y"] * 500)}, truth, pred
+        )
+        result = explorer.explore("fpr", min_support=0.01)
+        # Only 5 instances define FPR; still no crash, t finite.
+        for rec in result.records():
+            assert math.isfinite(rec.t_statistic)
+
+
+class TestMiningEdges:
+    def test_support_just_above_every_pattern(self):
+        rng = np.random.default_rng(3)
+        truth = rng.integers(0, 2, 40)
+        pred = rng.integers(0, 2, 40)
+        explorer = build(
+            {"a": rng.choice(list("abcdefgh"), 40).tolist()}, truth, pred
+        )
+        result = explorer.explore("error", min_support=0.99)
+        assert len(result.records()) == 0  # only the empty itemset mined
+
+    def test_zero_support_rejected(self, small_explorer):
+        with pytest.raises(MiningError):
+            small_explorer.explore("error", min_support=0.0)
+
+    def test_multi_metric_on_degenerate_data(self):
+        truth = np.ones(60, dtype=int)
+        pred = np.ones(60, dtype=int)
+        explorer = build({"a": ["x", "y"] * 30}, truth, pred)
+        results = explore_multi(explorer, ["fpr", "fnr", "error"], 0.1)
+        assert math.isnan(results["fpr"].global_rate)  # no negatives
+        assert results["fnr"].global_rate == 0.0
+        assert results["error"].global_rate == 0.0
+
+
+class TestAnalysesOnDegenerateResults:
+    def test_shapley_with_nan_subsets(self):
+        # Pattern whose subsets include all-BOTTOM support sets.
+        truth = [1, 1, 1, 1, 0, 0, 1, 1] * 10
+        pred = [1, 0, 1, 0, 1, 0, 1, 0] * 10
+        explorer = build(
+            {
+                "a": (["x"] * 40 + ["y"] * 40),
+                "b": (["p", "q"] * 40),
+            },
+            truth,
+            pred,
+        )
+        result = explorer.explore("fpr", min_support=0.05)
+        for rec in result.records():
+            if rec.length == 2 and not math.isnan(rec.divergence):
+                contributions = result.shapley(rec.itemset)
+                assert all(math.isfinite(v) for v in contributions.values())
+
+    def test_pruning_handles_nan(self):
+        truth = np.ones(80, dtype=int)
+        pred = np.zeros(80, dtype=int)
+        explorer = build({"a": ["x", "y"] * 40}, truth, pred)
+        result = explorer.explore("fpr", min_support=0.1)
+        assert result.pruned(0.01) == []  # all-NaN patterns are redundant
+
+    def test_corrective_skips_nan(self):
+        truth = np.ones(80, dtype=int)
+        pred = np.zeros(80, dtype=int)
+        explorer = build(
+            {"a": ["x", "y"] * 40, "b": ["p"] * 80}, truth, pred
+        )
+        result = explorer.explore("fpr", min_support=0.1)
+        assert result.corrective_items(5) == []

@@ -1,0 +1,59 @@
+"""Tests for the experiment scaffolding (tables, timing)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentTimer, time_call
+from repro.experiments.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(
+            [{"name": "x", "value": 1.23456}, {"name": "longer", "value": 2.0}]
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out  # default 3 digits
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_column_order_respected(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert out.splitlines()[0].index("b") < out.splitlines()[0].index("a")
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="T1")
+        assert out.startswith("== T1 ==")
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+        assert format_table([], title="X").startswith("X")
+
+    def test_missing_cells_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # no KeyError
+
+    def test_float_digits(self):
+        out = format_table([{"v": 0.123456}], float_digits=5)
+        assert "0.12346" in out
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with ExperimentTimer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0
+
+    def test_time_call_returns_result(self):
+        elapsed, result = time_call(lambda a, b: a + b, 2, 3)
+        assert result == 5
+        assert elapsed >= 0
+
+    def test_time_call_repeats(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+
+    def test_time_call_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)

@@ -1,0 +1,72 @@
+"""Tests for the plain-text chart renderers."""
+
+import math
+
+from repro.experiments.plots import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart({"alpha": 0.5, "beta": -0.25})
+        assert "alpha" in out and "beta" in out
+        assert "+0.5000" in out and "-0.2500" in out
+
+    def test_longest_bar_is_max_magnitude(self):
+        out = bar_chart({"big": 1.0, "small": 0.1}, width=20)
+        lines = out.splitlines()
+        big_bar = lines[0].count("█")
+        small_bar = lines[1].count("█")
+        assert big_bar == 20
+        assert small_bar == 2
+
+    def test_negative_marked(self):
+        out = bar_chart({"down": -0.3})
+        assert "|-" in out
+
+    def test_nan_handled(self):
+        out = bar_chart({"x": float("nan"), "y": 1.0})
+        assert "(nan)" in out
+
+    def test_empty(self):
+        assert "(empty" in bar_chart({})
+
+    def test_all_zero_no_crash(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out and "b" in out
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").startswith("T")
+
+
+class TestLineChart:
+    def test_renders_series_markers(self):
+        out = line_chart(
+            {"fast": [(0, 1), (1, 2)], "slow": [(0, 2), (1, 8)]},
+            width=20,
+            height=6,
+        )
+        assert "a=fast" in out and "b=slow" in out
+        assert "a" in out and "b" in out
+
+    def test_log_scale(self):
+        out = line_chart(
+            {"s": [(0.01, 1), (0.2, 1000)]}, log_y=True, width=20, height=6
+        )
+        assert "log10(y)" in out
+
+    def test_grid_dimensions(self):
+        out = line_chart({"s": [(0, 0), (1, 1)]}, width=30, height=5)
+        grid_lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(grid_lines) == 5
+        assert all(len(l) == 31 for l in grid_lines)
+
+    def test_empty(self):
+        assert "(empty" in line_chart({})
+
+    def test_single_point(self):
+        out = line_chart({"s": [(1.0, 2.0)]}, width=10, height=4)
+        assert "a=s" in out
+
+    def test_nan_points_skipped(self):
+        out = line_chart({"s": [(0, float("nan")), (1, 2)]}, width=10, height=4)
+        assert "a=s" in out

@@ -1,0 +1,41 @@
+"""Tests for the markdown audit-report generator."""
+
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.datasets import load
+from repro.experiments.report import divergence_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    data = load("compas", seed=0)
+    explorer = DivergenceExplorer(data.table, data.true_column, data.pred_column)
+    return divergence_report(
+        explorer, metrics=("fpr", "fnr"), min_support=0.1, title="COMPAS audit"
+    )
+
+
+class TestReport:
+    def test_title_and_sections(self, report_text):
+        assert report_text.startswith("# COMPAS audit")
+        assert "## FPR" in report_text
+        assert "## FNR" in report_text
+        assert "## Global vs individual item divergence" in report_text
+
+    def test_metadata_line(self, report_text):
+        assert "instances: 6172" in report_text
+        assert "support threshold: 0.1" in report_text
+
+    def test_shapley_section_present(self, report_text):
+        assert "Item contributions for" in report_text
+
+    def test_corrective_section_present(self, report_text):
+        assert "corrective items" in report_text.lower()
+
+    def test_pruning_summary(self, report_text):
+        assert "Redundancy pruning" in report_text
+
+    def test_tables_fenced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+        assert report_text.count("```") >= 4

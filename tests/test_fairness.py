@@ -1,0 +1,124 @@
+"""Tests for the subgroup fairness audit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.exceptions import ReproError
+from repro.fairness import fairness_audit
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def biased_explorer(seed=0, n=6000):
+    """A classifier that over-predicts positives for group=b."""
+    rng = np.random.default_rng(seed)
+    group = rng.integers(0, 2, n)  # 0 = a, 1 = b
+    other = rng.integers(0, 3, n)
+    truth = rng.random(n) < 0.4
+    p_pos = np.where(truth, 0.8, 0.1) + 0.15 * (group == 1)
+    pred = rng.random(n) < np.clip(p_pos, 0, 1)
+    table = Table(
+        [
+            CategoricalColumn("group", group, ["a", "b"]),
+            CategoricalColumn("other", other, [0, 1, 2]),
+            CategoricalColumn("class", truth.astype(int), [0, 1]),
+            CategoricalColumn("pred", pred.astype(int), [0, 1]),
+        ]
+    )
+    return DivergenceExplorer(table, "class", "pred"), group, truth, pred
+
+
+class TestAudit:
+    @pytest.fixture(scope="class")
+    def audit(self):
+        explorer, group, truth, pred = biased_explorer()
+        report = fairness_audit(explorer, min_support=0.05)
+        return report, group, truth, pred
+
+    def test_spd_matches_manual(self, audit):
+        report, group, truth, pred = audit
+        rec = report.record(Itemset([Item("group", "b")]))
+        manual = pred[group == 1].mean() - pred.mean()
+        assert rec.statistical_parity_difference == pytest.approx(
+            manual, abs=1e-9
+        )
+
+    def test_disparate_impact_matches_manual(self, audit):
+        report, group, truth, pred = audit
+        rec = report.record(Itemset([Item("group", "b")]))
+        manual = pred[group == 1].mean() / pred.mean()
+        assert rec.disparate_impact == pytest.approx(manual, abs=1e-9)
+
+    def test_eod_matches_manual(self, audit):
+        report, group, truth, pred = audit
+        rec = report.record(Itemset([Item("group", "b")]))
+        tpr_g = pred[(group == 1) & truth].mean()
+        tpr = pred[truth].mean()
+        assert rec.equal_opportunity_difference == pytest.approx(
+            tpr_g - tpr, abs=1e-9
+        )
+
+    def test_aod_matches_manual(self, audit):
+        report, group, truth, pred = audit
+        rec = report.record(Itemset([Item("group", "b")]))
+        tpr_diff = pred[(group == 1) & truth].mean() - pred[truth].mean()
+        fpr_diff = pred[(group == 1) & ~truth].mean() - pred[~truth].mean()
+        assert rec.average_odds_difference == pytest.approx(
+            0.5 * (tpr_diff + fpr_diff), abs=1e-9
+        )
+
+    def test_biased_group_leads_ranking(self, audit):
+        report, *_ = audit
+        worst = report.worst(3)
+        assert any(
+            Item("group", "b") in rec.itemset or Item("group", "a") in rec.itemset
+            for rec in worst
+        )
+
+    def test_every_frequent_subgroup_covered(self, audit):
+        report, *_ = audit
+        # 2 group values + 3 other values + 6 pairs = 11 subgroups
+        assert len(report) == 11
+
+    def test_rankings(self, audit):
+        report, *_ = audit
+        for by in ("worst", "spd", "eod", "aod", "di"):
+            ranked = report.worst(5, by=by)
+            assert len(ranked) <= 5
+
+    def test_unknown_ranking_rejected(self, audit):
+        report, *_ = audit
+        with pytest.raises(ReproError):
+            report.worst(3, by="vibes")
+
+    def test_missing_subgroup_rejected(self, audit):
+        report, *_ = audit
+        with pytest.raises(ReproError):
+            report.record(Itemset([Item("group", "zzz")]))
+
+
+class TestFairClassifier:
+    def test_unbiased_classifier_small_violations(self):
+        rng = np.random.default_rng(7)
+        n = 8000
+        group = rng.integers(0, 2, n)
+        truth = rng.random(n) < 0.4
+        pred = rng.random(n) < np.where(truth, 0.8, 0.1)
+        table = Table(
+            [
+                CategoricalColumn("group", group, ["a", "b"]),
+                CategoricalColumn("class", truth.astype(int), [0, 1]),
+                CategoricalColumn("pred", pred.astype(int), [0, 1]),
+            ]
+        )
+        explorer = DivergenceExplorer(table, "class", "pred")
+        report = fairness_audit(explorer, min_support=0.1)
+        for rec in report:
+            assert rec.worst_violation() < 0.05
+            assert 0.9 < rec.disparate_impact < 1.1 or math.isnan(
+                rec.disparate_impact
+            )

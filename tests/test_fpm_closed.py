@@ -1,0 +1,97 @@
+"""Tests for closed/maximal itemset filters."""
+
+import numpy as np
+import pytest
+
+from repro.fpm.bruteforce import BruteForceMiner
+from repro.fpm.closed import closed_itemsets, maximal_itemsets, restrict
+from repro.fpm.fpgrowth import FPGrowthMiner
+from repro.fpm.transactions import ItemCatalog, TransactionDataset
+from tests.conftest import make_random_dataset
+
+
+def perfectly_correlated_dataset():
+    """Attributes a and b always agree: {a=v} and {a=v, b=v} have equal
+    support, so the singletons over a/b are not closed."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2, 100)
+    matrix = np.column_stack([a, a, rng.integers(0, 2, 100)])
+    catalog = ItemCatalog(["a", "b", "c"], [[0, 1]] * 3)
+    return TransactionDataset(matrix, catalog)
+
+
+class TestClosed:
+    def test_correlated_singletons_not_closed(self):
+        ds = perfectly_correlated_dataset()
+        frequent = FPGrowthMiner().mine(ds, 0.05)
+        closed = closed_itemsets(frequent)
+        # a=0 (item 0) always co-occurs with b=0 (item 2): not closed.
+        assert frozenset({0}) not in closed
+        assert frozenset({0, 2}) in closed
+
+    def test_closure_definition(self):
+        ds = make_random_dataset(1, n_rows=150, n_attrs=4)
+        frequent = BruteForceMiner().mine(ds, 0.05)
+        closed = closed_itemsets(frequent)
+        for key in frequent:
+            has_equal_superset = any(
+                key < other
+                and frequent.support_count(other) == frequent.support_count(key)
+                for other in frequent
+            )
+            assert (key in closed) == (not has_equal_superset)
+
+    def test_support_information_preserved(self):
+        # Every frequent itemset's support equals the minimum support of
+        # the closed supersets containing it (the classic property).
+        ds = make_random_dataset(2, n_rows=120, n_attrs=3)
+        frequent = FPGrowthMiner().mine(ds, 0.05)
+        closed = closed_itemsets(frequent)
+        for key in frequent:
+            covering = [
+                frequent.support_count(c) for c in closed if key <= c
+            ]
+            assert covering
+            assert max(covering) == frequent.support_count(key)
+
+
+class TestMaximal:
+    def test_maximal_subset_of_closed(self):
+        ds = make_random_dataset(3, n_rows=200, n_attrs=4)
+        frequent = FPGrowthMiner().mine(ds, 0.05)
+        assert maximal_itemsets(frequent) <= closed_itemsets(frequent)
+
+    def test_no_frequent_supersets(self):
+        ds = make_random_dataset(4, n_rows=200, n_attrs=4)
+        frequent = FPGrowthMiner().mine(ds, 0.1)
+        maximal = maximal_itemsets(frequent)
+        for key in maximal:
+            assert not any(key < other for other in frequent)
+
+    def test_every_frequent_has_maximal_superset(self):
+        ds = make_random_dataset(5, n_rows=200, n_attrs=3)
+        frequent = FPGrowthMiner().mine(ds, 0.1)
+        maximal = maximal_itemsets(frequent)
+        for key in frequent:
+            assert any(key <= m for m in maximal)
+
+
+class TestRestrict:
+    def test_restrict_keeps_empty_itemset(self):
+        ds = make_random_dataset(6)
+        frequent = FPGrowthMiner().mine(ds, 0.1)
+        restricted = restrict(frequent, maximal_itemsets(frequent))
+        assert frozenset() in restricted
+        assert restricted.totals.tolist() == frequent.totals.tolist()
+
+    def test_restricted_counts_match(self):
+        ds = make_random_dataset(7)
+        frequent = FPGrowthMiner().mine(ds, 0.1)
+        keep = closed_itemsets(frequent)
+        restricted = restrict(frequent, keep)
+        for key in restricted:
+            if len(key):
+                assert key in keep
+                assert restricted.counts(key).tolist() == (
+                    frequent.counts(key).tolist()
+                )

@@ -1,0 +1,110 @@
+"""Unit tests for repro.fpm.transactions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError
+from repro.fpm.transactions import ItemCatalog, TransactionDataset, popcount
+
+
+class TestPopcount:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random(1000) < 0.3
+        assert popcount(np.packbits(mask)) == int(mask.sum())
+
+    def test_empty(self):
+        assert popcount(np.packbits(np.zeros(0, dtype=bool))) == 0
+
+
+class TestItemCatalog:
+    def test_item_id_roundtrip(self):
+        cat = ItemCatalog(["a", "b"], [["x", "y"], ["p", "q", "r"]])
+        assert cat.n_items == 5
+        for attr, value in [("a", "x"), ("a", "y"), ("b", "r")]:
+            item_id = cat.item_id(attr, value)
+            assert cat.decode(item_id) == (attr, value)
+
+    def test_offsets_sequential(self):
+        cat = ItemCatalog(["a", "b"], [["x", "y"], ["p"]])
+        assert cat.item_id("a", "x") == 0
+        assert cat.item_id("a", "y") == 1
+        assert cat.item_id("b", "p") == 2
+
+    def test_column_of(self):
+        cat = ItemCatalog(["a", "b"], [["x", "y"], ["p"]])
+        assert cat.column_of(0) == 0
+        assert cat.column_of(2) == 1
+        assert cat.attribute_of(2) == "b"
+
+    def test_items_of_attribute(self):
+        cat = ItemCatalog(["a", "b"], [["x", "y"], ["p"]])
+        assert cat.items_of_attribute("a") == [0, 1]
+        assert cat.items_of_attribute("b") == [2]
+
+    def test_unknown_attribute(self):
+        cat = ItemCatalog(["a"], [["x"]])
+        with pytest.raises(MiningError):
+            cat.item_id("zzz", "x")
+
+    def test_unknown_value(self):
+        cat = ItemCatalog(["a"], [["x"]])
+        with pytest.raises(MiningError):
+            cat.item_id("a", "zzz")
+
+    def test_decode_out_of_range(self):
+        cat = ItemCatalog(["a"], [["x"]])
+        with pytest.raises(MiningError):
+            cat.decode(5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(MiningError):
+            ItemCatalog(["a", "b"], [["x"]])
+
+
+class TestTransactionDataset:
+    def test_item_mask(self):
+        cat = ItemCatalog(["a"], [[0, 1]])
+        ds = TransactionDataset(np.array([[0], [1], [0]]), cat)
+        assert ds.item_mask(0).tolist() == [True, False, True]
+        assert ds.item_mask(1).tolist() == [False, True, False]
+
+    def test_item_matrix_offsets(self):
+        cat = ItemCatalog(["a", "b"], [[0, 1], [0, 1, 2]])
+        ds = TransactionDataset(np.array([[1, 2]]), cat)
+        assert ds.item_matrix.tolist() == [[1, 4]]
+
+    def test_counts_for_mask_with_channels(self):
+        cat = ItemCatalog(["a"], [[0, 1]])
+        channels = np.array([[1, 0], [0, 1], [1, 0]])
+        ds = TransactionDataset(np.array([[0], [1], [0]]), cat, channels)
+        counts = ds.counts_for_mask(ds.item_mask(0))
+        assert counts.tolist() == [2, 2, 0]
+
+    def test_counts_without_channels(self):
+        cat = ItemCatalog(["a"], [[0]])
+        ds = TransactionDataset(np.zeros((4, 1), dtype=int), cat)
+        assert ds.counts_for_mask(np.ones(4, dtype=bool)).tolist() == [4]
+
+    def test_itemset_mask_conjunction(self, random_transactions):
+        ds = random_transactions
+        mask = ds.itemset_mask([0, 3])  # a0=0 and a1=0
+        manual = ds.item_mask(0) & ds.item_mask(3)
+        assert (mask == manual).all()
+
+    def test_rejects_out_of_range_codes(self):
+        cat = ItemCatalog(["a"], [[0, 1]])
+        with pytest.raises(MiningError):
+            TransactionDataset(np.array([[5]]), cat)
+
+    def test_rejects_wrong_channel_shape(self):
+        cat = ItemCatalog(["a"], [[0]])
+        with pytest.raises(MiningError):
+            TransactionDataset(
+                np.zeros((3, 1), dtype=int), cat, np.zeros((2, 1))
+            )
+
+    def test_rejects_wrong_column_count(self):
+        cat = ItemCatalog(["a"], [[0]])
+        with pytest.raises(MiningError):
+            TransactionDataset(np.zeros((3, 2), dtype=int), cat)

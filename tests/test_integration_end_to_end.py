@@ -1,0 +1,143 @@
+"""End-to-end integration tests: the full pipeline on real generators.
+
+These tests exercise the complete flow the paper describes — generate
+data, classify, discretize, mine with outcome augmentation, rank, drill
+down — and assert cross-module consistency rather than single-module
+behaviour.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.outcomes import outcome_metric, TRUE, FALSE
+from repro.datasets import load
+from repro.fpm.transactions import TransactionDataset
+
+
+@pytest.fixture(scope="module")
+def compas_result():
+    data = load("compas", seed=0)
+    explorer = DivergenceExplorer(data.table, data.true_column, data.pred_column)
+    return data, explorer, explorer.explore("fpr", min_support=0.05)
+
+
+class TestCrossChecks:
+    def test_counts_match_direct_masking(self, compas_result):
+        """Mined (T, F) tallies equal a direct recount over the table."""
+        data, explorer, result = compas_result
+        outcome = explorer.outcome_array("fpr")
+        matrix = data.table.encoded_matrix(result.catalog.attributes)
+        ds = TransactionDataset(matrix, result.catalog)
+        for rec in result.top_k(10):
+            key = result.key_of(rec.itemset)
+            mask = ds.itemset_mask(sorted(key))
+            assert rec.support_count == int(mask.sum())
+            assert rec.t_count == int((outcome[mask] == TRUE).sum())
+            assert rec.f_count == int((outcome[mask] == FALSE).sum())
+
+    def test_global_rate_matches_metric_module(self, compas_result):
+        from repro.ml.metrics import false_positive_rate
+
+        data, _, result = compas_result
+        truth = data.truth_array()
+        pred = np.asarray(
+            data.table.categorical("pred").values_as_objects()
+        ).astype(bool)
+        assert result.global_rate == pytest.approx(
+            false_positive_rate(truth, pred)
+        )
+
+    def test_divergence_defn(self, compas_result):
+        _, _, result = compas_result
+        for rec in result.top_k(20):
+            assert rec.divergence == pytest.approx(rec.rate - result.global_rate)
+
+    def test_every_frequent_pattern_meets_support(self, compas_result):
+        _, _, result = compas_result
+        min_count = math.ceil(result.min_support * result.n_rows - 1e-9)
+        for key in result.frequent:
+            assert result.frequent.support_count(key) >= min_count
+
+    def test_shapley_efficiency_on_real_data(self, compas_result):
+        _, _, result = compas_result
+        for rec in result.top_k(5):
+            contributions = result.shapley(rec.itemset)
+            assert sum(contributions.values()) == pytest.approx(
+                rec.divergence, abs=1e-9
+            )
+
+    def test_fnr_and_fpr_bottoms_partition(self, compas_result):
+        """FPR's BOTTOM rows are exactly FNR's scoped rows and vice versa."""
+        data, explorer, _ = compas_result
+        fpr = explorer.outcome_array("fpr")
+        fnr = explorer.outcome_array("fnr")
+        assert ((fpr == -1) == (fnr != -1)).all()
+
+
+class TestMultipleMetricsConsistency:
+    def test_error_plus_accuracy_rates_sum_to_one(self, compas_result):
+        data, explorer, _ = compas_result
+        err = explorer.explore("error", min_support=0.1)
+        acc = explorer.explore("accuracy", min_support=0.1)
+        for key in err.frequent:
+            rate_err = err.record_for_key(key).rate
+            rate_acc = acc.record_for_key(key).rate
+            assert rate_err + rate_acc == pytest.approx(1.0)
+
+    def test_divergences_negate(self, compas_result):
+        data, explorer, _ = compas_result
+        err = explorer.explore("error", min_support=0.1)
+        acc = explorer.explore("accuracy", min_support=0.1)
+        for key in err.frequent:
+            assert err.divergence_of_key(key) == pytest.approx(
+                -acc.divergence_of_key(key)
+            )
+
+
+class TestPaperTable2Shape:
+    """The COMPAS headline findings (Table 1/2 families) hold in shape."""
+
+    def test_fpr_top_patterns_feature_priors_and_race(self, compas_result):
+        _, _, result = compas_result
+        top = result.top_k(3, min_support=0.1)
+        for rec in top:
+            attrs = {item.attribute for item in rec.itemset}
+            assert "#prior" in attrs or "race" in attrs
+
+    def test_high_priors_af_am_pattern_positive_divergence(self, compas_result):
+        from repro.core.items import Itemset
+
+        _, _, result = compas_result
+        pattern = Itemset.from_pairs(
+            [("#prior", ">3"), ("race", "African-American")]
+        )
+        rec = result.record(pattern)
+        assert rec.divergence > 0.1
+        assert rec.t_statistic > 3
+
+    def test_fnr_top_patterns_feature_low_priors(self, compas_result):
+        data, explorer, _ = compas_result
+        result = explorer.explore("fnr", min_support=0.1)
+        top = result.top_k(3)
+        assert any(
+            any(i.attribute == "#prior" and i.value == "0" for i in rec.itemset)
+            for rec in top
+        )
+
+
+class TestSmallerDatasetsEndToEnd:
+    @pytest.mark.parametrize("name", ["heart", "german"])
+    def test_pipeline_runs(self, name):
+        data = load(name, seed=0, classifier="logistic")
+        explorer = DivergenceExplorer(
+            data.table, data.true_column, data.pred_column
+        )
+        result = explorer.explore("error", min_support=0.2)
+        assert len(result) > 1
+        top = result.top_k(3)
+        for rec in top:
+            assert math.isfinite(rec.divergence)
+            assert rec.support >= 0.2

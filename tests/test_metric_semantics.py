@@ -1,0 +1,136 @@
+"""Deep semantic tests: every metric's mined divergence equals a manual
+computation over the raw arrays, for random data and random patterns.
+
+This is the strongest end-to-end correctness statement in the suite —
+it ties Def. 3.1/3.2, the outcome encodings, the augmented miners and
+the result layer together against an independent numpy oracle.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.outcomes import OUTCOME_METRICS, register_metric, unregister_metric
+from repro.exceptions import ReproError
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+BUILTIN = ["fpr", "fnr", "error", "accuracy", "tpr", "tnr", "ppv", "fdr",
+           "for", "npv", "posr", "predr"]
+
+
+def manual_rate(metric: str, v: np.ndarray, u: np.ndarray) -> float:
+    """Independent definition of each metric over boolean arrays."""
+
+    def ratio(num: np.ndarray, den: np.ndarray) -> float:
+        d = int(den.sum())
+        return float(num.sum()) / d if d else float("nan")
+
+    table = {
+        "fpr": (u & ~v, ~v),
+        "fnr": (~u & v, v),
+        "error": (u != v, np.ones_like(v)),
+        "accuracy": (u == v, np.ones_like(v)),
+        "tpr": (u & v, v),
+        "tnr": (~u & ~v, ~v),
+        "ppv": (u & v, u),
+        "fdr": (u & ~v, u),
+        "for": (~u & v, ~u),
+        "npv": (~u & ~v, ~u),
+        "posr": (v, np.ones_like(v)),
+        "predr": (u, np.ones_like(v)),
+    }
+    num, den = table[metric]
+    return ratio(num, den)
+
+
+@pytest.fixture(scope="module")
+def random_data():
+    rng = np.random.default_rng(42)
+    n = 1500
+    a = rng.integers(0, 3, n)
+    b = rng.integers(0, 2, n)
+    truth = rng.random(n) < 0.55
+    pred = rng.random(n) < 0.35 + 0.2 * truth
+    table = Table(
+        [
+            CategoricalColumn("a", a, [0, 1, 2]),
+            CategoricalColumn("b", b, [0, 1]),
+            CategoricalColumn("class", truth.astype(int), [0, 1]),
+            CategoricalColumn("pred", pred.astype(int), [0, 1]),
+        ]
+    )
+    explorer = DivergenceExplorer(table, "class", "pred")
+    return explorer, a, b, truth, pred
+
+
+class TestEveryMetricAgainstOracle:
+    @pytest.mark.parametrize("metric", BUILTIN)
+    def test_global_rate(self, random_data, metric):
+        explorer, a, b, truth, pred = random_data
+        result = explorer.explore(metric, min_support=0.01)
+        expected = manual_rate(metric, truth, pred)
+        if math.isnan(expected):
+            assert math.isnan(result.global_rate)
+        else:
+            assert result.global_rate == pytest.approx(expected)
+
+    @pytest.mark.parametrize("metric", BUILTIN)
+    def test_every_pattern_rate(self, random_data, metric):
+        explorer, a, b, truth, pred = random_data
+        result = explorer.explore(metric, min_support=0.01)
+        masks = {
+            ("a", value): a == value for value in (0, 1, 2)
+        } | {("b", value): b == value for value in (0, 1)}
+        for rec in result.records():
+            mask = np.ones(truth.shape, dtype=bool)
+            for item in rec.itemset:
+                mask &= masks[(item.attribute, item.value)]
+            expected = manual_rate(metric, truth[mask], pred[mask])
+            if math.isnan(expected):
+                assert math.isnan(rec.rate)
+            else:
+                assert rec.rate == pytest.approx(expected), (metric, rec.itemset)
+
+
+class TestCustomMetrics:
+    def test_register_and_explore(self, random_data):
+        explorer, a, b, truth, pred = random_data
+        import repro.core.outcomes as oc
+
+        def cost_sensitive(v, u):
+            # TRUE when an expensive error occurs (FN), FALSE on any
+            # other ground-truth positive, BOTTOM otherwise.
+            return oc._encode(~u & v, u & v)
+
+        register_metric("fn-cost", "expensive false negatives", cost_sensitive)
+        try:
+            result = explorer.explore("fn-cost", min_support=0.05)
+            expected = manual_rate("fnr", truth, pred)  # same definition
+            assert result.global_rate == pytest.approx(expected)
+        finally:
+            unregister_metric("fn-cost")
+        assert "fn-cost" not in OUTCOME_METRICS
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError):
+            register_metric("fpr", "clash", lambda v, u: None)
+
+    def test_builtins_protected(self):
+        with pytest.raises(ReproError):
+            unregister_metric("fpr")
+
+    def test_overwrite_flag(self):
+        import repro.core.outcomes as oc
+
+        register_metric("tmp-metric", "v1", lambda v, u: oc._encode(v, ~v))
+        try:
+            register_metric(
+                "tmp-metric", "v2", lambda v, u: oc._encode(~v, v),
+                overwrite=True,
+            )
+            assert OUTCOME_METRICS["tmp-metric"].description == "v2"
+        finally:
+            unregister_metric("tmp-metric")

@@ -1,0 +1,134 @@
+"""Tests for divergence-guided mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.items import Item, Itemset
+from repro.exceptions import ReproError
+from repro.mitigation import SubgroupThresholdMitigator, reweighing_weights
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def biased_scores(seed=0, n=6000):
+    """Scores inflated for g=1 negatives -> planted FPR divergence."""
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, 2, n)
+    h = rng.integers(0, 2, n)
+    truth = rng.random(n) < 0.45
+    scores = np.clip(
+        0.30 + 0.45 * truth + 0.18 * ((g == 1) & ~truth)
+        + rng.normal(0, 0.12, n),
+        0.01,
+        0.99,
+    )
+    table = Table(
+        [
+            CategoricalColumn("g", g, [0, 1]),
+            CategoricalColumn("h", h, [0, 1]),
+        ]
+    )
+    return table, truth, scores
+
+
+PATTERN = Itemset([Item("g", 1)])
+
+
+class TestThresholdMitigation:
+    def test_divergence_shrinks(self):
+        table, truth, scores = biased_scores()
+        mitigator = SubgroupThresholdMitigator(table, truth, scores, "fpr")
+        mitigator.fit([PATTERN])
+        outcome = mitigator.evaluate(min_support=0.05)
+        before = abs(outcome.divergence_before[PATTERN])
+        after = abs(outcome.divergence_after[PATTERN])
+        assert before > 0.08  # the plant is real
+        assert after < before / 2  # and the mitigation works
+        assert outcome.improvement(PATTERN) > 0
+
+    def test_rules_recorded(self):
+        table, truth, scores = biased_scores()
+        mitigator = SubgroupThresholdMitigator(table, truth, scores, "fpr")
+        mitigator.fit([PATTERN])
+        assert len(mitigator.rules) == 1
+        pattern, threshold = mitigator.rules[0]
+        assert pattern == PATTERN
+        # inflated scores need a *higher* threshold inside the subgroup
+        assert threshold > mitigator.base_threshold
+
+    def test_outside_subgroup_unchanged(self):
+        table, truth, scores = biased_scores()
+        mitigator = SubgroupThresholdMitigator(table, truth, scores, "fpr")
+        mitigator.fit([PATTERN])
+        pred = mitigator.predict()
+        base = scores >= 0.5
+        outside = ~table.mask_equal("g", 1)
+        assert (pred[outside] == base[outside]).all()
+
+    def test_first_pattern_claims_overlap(self):
+        table, truth, scores = biased_scores()
+        mitigator = SubgroupThresholdMitigator(table, truth, scores, "fpr")
+        overlap = Itemset.from_pairs([("g", 1), ("h", 0)])
+        mitigator.fit([PATTERN, overlap])
+        # the second pattern is fully covered by the first -> no rows left
+        assert [p for p, _ in mitigator.rules] == [PATTERN]
+
+    def test_validation(self):
+        table, truth, scores = biased_scores(n=100)
+        with pytest.raises(ReproError):
+            SubgroupThresholdMitigator(table, truth[:10], scores)
+        with pytest.raises(ReproError):
+            SubgroupThresholdMitigator(
+                table, truth, scores, base_threshold=1.5
+            )
+
+    def test_predict_on_new_scores(self):
+        table, truth, scores = biased_scores()
+        mitigator = SubgroupThresholdMitigator(table, truth, scores, "fpr")
+        mitigator.fit([PATTERN])
+        flipped = mitigator.predict(scores=np.zeros(table.n_rows))
+        assert not flipped.any()
+
+
+class TestReweighing:
+    def test_weights_average_one(self):
+        table, truth, _ = biased_scores()
+        weights = reweighing_weights(table, truth, [PATTERN])
+        assert weights.mean() == pytest.approx(1.0, abs=1e-9)
+        assert (weights > 0).all()
+
+    def test_decorrelates_class_from_group(self):
+        table, truth, _ = biased_scores()
+        # Make class correlated with g first.
+        rng = np.random.default_rng(1)
+        g = np.asarray(table.categorical("g").values_as_objects())
+        truth = rng.random(table.n_rows) < np.where(g == 1, 0.7, 0.3)
+        weights = reweighing_weights(table, truth, [PATTERN])
+        in_g = g == 1
+        weighted_rate_in = np.average(truth[in_g], weights=weights[in_g])
+        weighted_rate_out = np.average(truth[~in_g], weights=weights[~in_g])
+        assert weighted_rate_in == pytest.approx(weighted_rate_out, abs=1e-9)
+
+    def test_kamiran_calders_formula(self):
+        table, truth, _ = biased_scores()
+        weights = reweighing_weights(table, truth, [PATTERN])
+        g = np.asarray(table.categorical("g").values_as_objects()) == 1
+        p_group = g.mean()
+        p_pos = truth.mean()
+        p_cell = (g & truth).mean()
+        expected = p_group * p_pos / p_cell
+        assert weights[g & truth][0] == pytest.approx(expected)
+
+    def test_empty_cell_rejected(self):
+        table = Table(
+            [CategoricalColumn("g", [0, 0, 1, 1], [0, 1])]
+        )
+        truth = np.array([True, False, True, True])  # no (g=1, False)
+        with pytest.raises(ReproError):
+            reweighing_weights(table, truth, [Itemset([Item("g", 1)])])
+
+    def test_label_length_checked(self):
+        table, truth, _ = biased_scores(n=100)
+        with pytest.raises(ReproError):
+            reweighing_weights(table, truth[:10], [PATTERN])

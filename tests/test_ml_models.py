@@ -1,0 +1,167 @@
+"""Tests for the classifiers in repro.ml (tree, forest, logistic, MLP)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ReproError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegressionClassifier, one_hot_encode
+from repro.ml.mlp import MLPClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def learnable_problem(seed=0, n=600):
+    """Labels = (x0 == 1) xor noise: trees must reach high accuracy."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 3, size=(n, 4))
+    y = (x[:, 0] == 1) ^ (rng.random(n) < 0.05)
+    return x, y.astype(bool)
+
+
+def conjunction_problem(seed=0, n=800):
+    """Labels need a conjunction (x0==1 and x1==2): depth >= 2 required."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 3, size=(n, 3))
+    y = (x[:, 0] == 1) & (x[:, 1] == 2)
+    return x, y
+
+
+MODELS = [
+    lambda: DecisionTreeClassifier(max_depth=6, seed=0),
+    lambda: RandomForestClassifier(n_trees=8, max_depth=6, seed=0),
+    lambda: LogisticRegressionClassifier(),
+    lambda: MLPClassifier(hidden=16, epochs=20, seed=0),
+]
+
+
+class TestAllModels:
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_learns_simple_rule(self, factory):
+        x, y = learnable_problem()
+        model = factory().fit(x, y)
+        acc = float(np.mean(model.predict(x) == y))
+        assert acc > 0.9
+
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_probabilities_in_unit_interval(self, factory):
+        x, y = learnable_problem()
+        proba = factory().fit(x, y).predict_proba(x)
+        assert proba.shape == (len(y),)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_predict_before_fit_raises(self, factory):
+        with pytest.raises(NotFittedError):
+            factory().predict(np.zeros((2, 4), dtype=int))
+
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_shape_validation(self, factory):
+        with pytest.raises(ReproError):
+            factory().fit(np.zeros((3, 2), dtype=int), np.zeros(5))
+
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_deterministic_given_seed(self, factory):
+        x, y = learnable_problem()
+        p1 = factory().fit(x, y).predict_proba(x)
+        p2 = factory().fit(x, y).predict_proba(x)
+        assert np.allclose(p1, p2)
+
+
+class TestDecisionTree:
+    def test_learns_conjunction(self):
+        x, y = conjunction_problem()
+        model = DecisionTreeClassifier(max_depth=4, seed=0).fit(x, y)
+        assert float(np.mean(model.predict(x) == y)) > 0.98
+
+    def test_max_depth_zero_is_majority(self):
+        x, y = learnable_problem()
+        model = DecisionTreeClassifier(max_depth=0).fit(x, y)
+        assert model.depth() == 0
+        majority = y.mean() >= 0.5
+        assert (model.predict(x) == majority).all()
+
+    def test_depth_respects_limit(self):
+        x, y = conjunction_problem()
+        model = DecisionTreeClassifier(max_depth=2, seed=0).fit(x, y)
+        assert model.depth() <= 2
+
+    def test_pure_labels_single_leaf(self):
+        x = np.zeros((20, 2), dtype=int)
+        y = np.ones(20, dtype=bool)
+        model = DecisionTreeClassifier().fit(x, y)
+        assert model.depth() == 0
+        assert model.predict(x).all()
+
+    def test_min_samples_leaf(self):
+        x, y = conjunction_problem(n=100)
+        model = DecisionTreeClassifier(min_samples_leaf=40, seed=0).fit(x, y)
+        # With such large leaves, the small positive conjunction
+        # (~1/9 of rows) cannot be isolated exactly.
+        assert model.depth() <= 2
+
+    def test_wrong_feature_count_on_predict(self):
+        x, y = learnable_problem()
+        model = DecisionTreeClassifier(seed=0).fit(x, y)
+        with pytest.raises(ReproError):
+            model.predict(np.zeros((2, 9), dtype=int))
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ReproError):
+            DecisionTreeClassifier(max_depth=-1)
+
+
+class TestRandomForest:
+    def test_learns_conjunction(self):
+        x, y = conjunction_problem()
+        model = RandomForestClassifier(n_trees=10, max_depth=5, seed=0).fit(x, y)
+        assert float(np.mean(model.predict(x) == y)) > 0.95
+
+    def test_needs_at_least_one_tree(self):
+        with pytest.raises(ReproError):
+            RandomForestClassifier(n_trees=0)
+
+    def test_proba_is_tree_average(self):
+        x, y = learnable_problem(n=200)
+        model = RandomForestClassifier(n_trees=3, max_depth=3, seed=0).fit(x, y)
+        manual = np.mean([t.predict_proba(x) for t in model._trees], axis=0)
+        assert np.allclose(model.predict_proba(x), manual)
+
+
+class TestLogistic:
+    def test_one_hot_encode(self):
+        out = one_hot_encode(np.array([[0, 2], [1, 0]]), [2, 3])
+        assert out.tolist() == [
+            [1, 0, 0, 0, 1],
+            [0, 1, 1, 0, 0],
+        ]
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ReproError):
+            one_hot_encode(np.array([[5]]), [2])
+
+    def test_unseen_codes_clipped_at_predict(self):
+        x, y = learnable_problem()
+        model = LogisticRegressionClassifier().fit(x, y)
+        x_new = x.copy()
+        x_new[0, 0] = 99  # unseen category
+        proba = model.predict_proba(x_new)
+        assert np.isfinite(proba).all()
+
+    def test_regularization_shrinks_weights(self):
+        x, y = learnable_problem()
+        loose = LogisticRegressionClassifier(l2=0.01).fit(x, y)
+        tight = LogisticRegressionClassifier(l2=100.0).fit(x, y)
+        assert np.abs(tight._weights).sum() < np.abs(loose._weights).sum()
+
+
+class TestMLP:
+    def test_learns_conjunction(self):
+        x, y = conjunction_problem()
+        model = MLPClassifier(hidden=24, epochs=40, seed=0).fit(x, y)
+        assert float(np.mean(model.predict(x) == y)) > 0.95
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ReproError):
+            MLPClassifier(hidden=0)
+        with pytest.raises(ReproError):
+            MLPClassifier(learning_rate=0)

@@ -1,0 +1,66 @@
+"""Tests for the categorical naive Bayes classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ReproError
+from repro.ml.naive_bayes import CategoricalNaiveBayes
+
+
+def make_problem(seed=0, n=800):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 3, size=(n, 4))
+    y = (x[:, 0] == 1) ^ (rng.random(n) < 0.1)
+    return x, y.astype(bool)
+
+
+class TestNaiveBayes:
+    def test_learns_marginal_rule(self):
+        x, y = make_problem()
+        model = CategoricalNaiveBayes().fit(x, y)
+        assert float(np.mean(model.predict(x) == y)) > 0.85
+
+    def test_probabilities_valid(self):
+        x, y = make_problem()
+        proba = CategoricalNaiveBayes().fit(x, y).predict_proba(x)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_matches_closed_form_on_single_feature(self):
+        # One binary feature: posterior computable by hand.
+        x = np.array([[0]] * 60 + [[1]] * 40)
+        y = np.array([0] * 50 + [1] * 10 + [0] * 10 + [1] * 30)
+        model = CategoricalNaiveBayes(alpha=1.0).fit(x, y)
+        # P(y=1) = (40+1)/102; P(x=1|y=1) = (30+1)/(40+2)
+        p1 = 41 / 102
+        p0 = 61 / 102
+        lik1 = 31 / 42
+        lik0 = 11 / 62
+        expected = (p1 * lik1) / (p1 * lik1 + p0 * lik0)
+        got = model.predict_proba(np.array([[1]]))[0]
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_unseen_codes_clipped(self):
+        x, y = make_problem()
+        model = CategoricalNaiveBayes().fit(x, y)
+        x_new = x.copy()
+        x_new[0, 0] = 99
+        assert np.isfinite(model.predict_proba(x_new)).all()
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            CategoricalNaiveBayes().predict(np.zeros((2, 3), dtype=int))
+
+    def test_bad_alpha(self):
+        with pytest.raises(ReproError):
+            CategoricalNaiveBayes(alpha=0)
+
+    def test_shape_checks(self):
+        with pytest.raises(ReproError):
+            CategoricalNaiveBayes().fit(np.zeros((3, 2), dtype=int), np.zeros(5))
+
+    def test_smoothing_effect(self):
+        # With huge smoothing the model collapses toward the prior.
+        x, y = make_problem()
+        flat = CategoricalNaiveBayes(alpha=1e6).fit(x, y)
+        proba = flat.predict_proba(x)
+        assert np.allclose(proba, proba[0], atol=1e-3)

@@ -1,0 +1,102 @@
+"""Tests for repro.ml.splits and repro.ml.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.ml.metrics import (
+    accuracy,
+    confusion_counts,
+    false_negative_rate,
+    false_positive_rate,
+)
+from repro.ml.splits import train_test_split
+
+
+class TestSplit:
+    def test_partition_covers_all_rows(self):
+        train, test = train_test_split(100, test_fraction=0.3, seed=0)
+        combined = np.sort(np.concatenate([train, test]))
+        assert combined.tolist() == list(range(100))
+
+    def test_fraction_respected(self):
+        train, test = train_test_split(1000, test_fraction=0.25, seed=1)
+        assert test.size == 250
+
+    def test_deterministic(self):
+        a = train_test_split(50, seed=7)
+        b = train_test_split(50, seed=7)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    def test_different_seeds_differ(self):
+        a = train_test_split(200, seed=1)
+        b = train_test_split(200, seed=2)
+        assert not (a[1] == b[1]).all()
+
+    def test_stratified_balance(self):
+        labels = np.array([0] * 800 + [1] * 200)
+        _, test = train_test_split(
+            1000, test_fraction=0.3, seed=0, stratify=labels
+        )
+        positive_frac = labels[test].mean()
+        assert positive_frac == pytest.approx(0.2, abs=0.01)
+
+    def test_stratified_partition(self):
+        labels = np.array([0, 1] * 50)
+        train, test = train_test_split(100, seed=0, stratify=labels)
+        combined = np.sort(np.concatenate([train, test]))
+        assert combined.tolist() == list(range(100))
+
+    def test_bad_fraction(self):
+        with pytest.raises(ReproError):
+            train_test_split(10, test_fraction=1.5)
+
+    def test_too_few_rows(self):
+        with pytest.raises(ReproError):
+            train_test_split(1)
+
+    def test_bad_stratify_shape(self):
+        with pytest.raises(ReproError):
+            train_test_split(10, stratify=np.zeros(5))
+
+
+class TestMetrics:
+    T = np.array([True, True, False, False])
+    P = np.array([True, False, True, False])
+
+    def test_confusion(self):
+        assert confusion_counts(self.T, self.P) == {
+            "tp": 1,
+            "fp": 1,
+            "tn": 1,
+            "fn": 1,
+        }
+
+    def test_accuracy(self):
+        assert accuracy(self.T, self.P) == 0.5
+
+    def test_fpr(self):
+        assert false_positive_rate(self.T, self.P) == 0.5
+
+    def test_fnr(self):
+        assert false_negative_rate(self.T, self.P) == 0.5
+
+    def test_fpr_nan_without_negatives(self):
+        assert math.isnan(
+            false_positive_rate(np.array([True, True]), np.array([True, False]))
+        )
+
+    def test_fnr_nan_without_positives(self):
+        assert math.isnan(
+            false_negative_rate(np.array([False, False]), np.array([True, False]))
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            accuracy(self.T, self.P[:2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            accuracy(np.array([]), np.array([]))

@@ -1,0 +1,103 @@
+"""Property-based invariants of lattices, corrective items and pruning
+on randomized explorations."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.corrective import find_corrective_items
+from repro.core.divergence import DivergenceExplorer
+from repro.core.lattice import DivergenceLattice
+from repro.core.pruning import prune_redundant
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def random_result(seed, n=300):
+    rng = np.random.default_rng(seed)
+    cols = [
+        CategoricalColumn(f"a{j}", rng.integers(0, 2, n), [0, 1])
+        for j in range(3)
+    ]
+    truth = rng.integers(0, 2, n)
+    pred = rng.integers(0, 2, n)
+    cols.append(CategoricalColumn("class", truth, [0, 1]))
+    cols.append(CategoricalColumn("pred", pred, [0, 1]))
+    return DivergenceExplorer(Table(cols), "class", "pred").explore(
+        "error", min_support=0.02
+    )
+
+
+class TestLatticeInvariants:
+    @given(st.integers(0, 3000))
+    @settings(max_examples=20, deadline=None)
+    def test_structure_invariants(self, seed):
+        result = random_result(seed)
+        top = result.top_k(1, by="support", max_length=3)
+        if not top:
+            return
+        lattice = DivergenceLattice(result, top[0].itemset)
+        n = len(top[0].itemset)
+        assert lattice.graph.number_of_nodes() == 2**n
+        assert lattice.graph.number_of_edges() == n * 2 ** (n - 1)
+        # support decreases along every edge
+        for parent, child in lattice.graph.edges:
+            assert (
+                lattice.graph.nodes[child]["support"]
+                <= lattice.graph.nodes[parent]["support"] + 1e-12
+            )
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=20, deadline=None)
+    def test_corrective_flag_matches_definition(self, seed):
+        result = random_result(seed)
+        top = result.top_k(1, by="support", max_length=3)
+        if not top:
+            return
+        lattice = DivergenceLattice(result, top[0].itemset)
+        for node, data in lattice.graph.nodes(data=True):
+            if len(node) == 0:
+                assert not data["corrective"]
+                continue
+            expected = any(
+                abs(data["divergence"])
+                < abs(lattice.graph.nodes[node.difference(item)]["divergence"])
+                for item in node
+                if not math.isnan(data["divergence"])
+                and not math.isnan(
+                    lattice.graph.nodes[node.difference(item)]["divergence"]
+                )
+            )
+            assert data["corrective"] == expected
+
+
+class TestCorrectiveInvariants:
+    @given(st.integers(0, 3000))
+    @settings(max_examples=20, deadline=None)
+    def test_every_report_is_a_true_correction(self, seed):
+        result = random_result(seed)
+        for c in find_corrective_items(result, k=20):
+            assert abs(c.corrected_divergence) < abs(c.base_divergence)
+            assert c.corrective_factor == pytest.approx(
+                abs(c.base_divergence) - abs(c.corrected_divergence)
+            )
+            # both patterns really are frequent
+            assert c.base in result
+            assert c.base.union(c.item) in result
+
+
+class TestPruningInvariants:
+    @given(st.integers(0, 3000), st.floats(0.0, 0.3))
+    @settings(max_examples=25, deadline=None)
+    def test_survivors_have_all_marginals_above_epsilon(self, seed, epsilon):
+        result = random_result(seed)
+        for rec in prune_redundant(result, epsilon):
+            key = result.key_of(rec.itemset)
+            for alpha in key:
+                parent_div = result.divergence_of_key(key - {alpha})
+                if math.isnan(parent_div):
+                    continue
+                assert abs(rec.divergence - parent_div) > epsilon

@@ -1,0 +1,103 @@
+"""Unit tests for repro.tabular.column."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.column import CategoricalColumn, ContinuousColumn
+
+
+class TestCategoricalColumn:
+    def test_from_values_encodes_and_decodes(self):
+        col = CategoricalColumn.from_values("c", ["b", "a", "b", "c"])
+        assert col.values_as_objects() == ["b", "a", "b", "c"]
+        assert sorted(col.categories) == ["a", "b", "c"]
+
+    def test_cardinality(self):
+        col = CategoricalColumn.from_values("c", ["x", "y", "x"])
+        assert col.cardinality == 2
+
+    def test_value_counts(self):
+        col = CategoricalColumn.from_values("c", ["x", "y", "x", "x"])
+        assert col.value_counts() == {"x": 3, "y": 1}
+
+    def test_mask_equal(self):
+        col = CategoricalColumn.from_values("c", ["x", "y", "x"])
+        assert col.mask_equal("x").tolist() == [True, False, True]
+
+    def test_mask_equal_unknown_value_is_all_false(self):
+        col = CategoricalColumn.from_values("c", ["x", "y"])
+        assert not col.mask_equal("zebra").any()
+
+    def test_take_preserves_categories(self):
+        col = CategoricalColumn.from_values("c", ["x", "y", "x", "y"])
+        taken = col.take(np.array([0, 3]))
+        assert taken.values_as_objects() == ["x", "y"]
+        assert taken.categories == col.categories
+
+    def test_take_with_boolean_mask(self):
+        col = CategoricalColumn.from_values("c", ["x", "y", "z"])
+        taken = col.take(np.array([True, False, True]))
+        assert taken.values_as_objects() == ["x", "z"]
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", [0, 5], ["a", "b"])
+
+    def test_rejects_negative_codes(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", [-1, 0], ["a", "b"])
+
+    def test_rejects_duplicate_categories(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", [0, 1], ["a", "a"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("", [0], ["a"])
+
+    def test_rejects_2d_codes(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", np.zeros((2, 2), dtype=int), ["a"])
+
+    def test_is_categorical_flag(self):
+        col = CategoricalColumn.from_values("c", ["x"])
+        assert col.is_categorical and not col.is_continuous
+
+    def test_empty_column(self):
+        col = CategoricalColumn("c", [], ["a", "b"])
+        assert len(col) == 0
+        assert col.value_counts() == {"a": 0, "b": 0}
+
+
+class TestContinuousColumn:
+    def test_basic_construction(self):
+        col = ContinuousColumn("v", [1.5, 2.5])
+        assert len(col) == 2
+        assert col.values_as_objects() == [1.5, 2.5]
+
+    def test_min_max(self):
+        col = ContinuousColumn("v", [3.0, 1.0, 2.0])
+        assert col.min() == 1.0
+        assert col.max() == 3.0
+
+    def test_min_on_empty_raises(self):
+        col = ContinuousColumn("v", [])
+        with pytest.raises(SchemaError):
+            col.min()
+
+    def test_rejects_nan(self):
+        with pytest.raises(SchemaError):
+            ContinuousColumn("v", [1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(SchemaError):
+            ContinuousColumn("v", np.zeros((2, 2)))
+
+    def test_take(self):
+        col = ContinuousColumn("v", [1.0, 2.0, 3.0])
+        assert col.take(np.array([2, 0])).values_as_objects() == [3.0, 1.0]
+
+    def test_is_continuous_flag(self):
+        col = ContinuousColumn("v", [1.0])
+        assert col.is_continuous and not col.is_categorical

@@ -1,0 +1,136 @@
+"""Unit tests for repro.tabular.discretize."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DiscretizationError
+from repro.tabular.column import ContinuousColumn
+from repro.tabular.discretize import (
+    BinSpec,
+    discretize_column,
+    discretize_table,
+    format_interval_labels,
+    quantile_edges,
+    uniform_edges,
+)
+from repro.tabular.table import Table
+
+
+class TestBinSpec:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(DiscretizationError):
+            BinSpec(method="magic")
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(DiscretizationError):
+            BinSpec(method="quantile", bins=1)
+
+    def test_edges_method_requires_edges(self):
+        with pytest.raises(DiscretizationError):
+            BinSpec(method="edges")
+
+
+class TestEdges:
+    def test_quantile_edges_balanced(self):
+        values = np.arange(100.0)
+        edges = quantile_edges(values, 4)
+        assert len(edges) == 3
+        assert edges == sorted(edges)
+
+    def test_quantile_edges_collapse_on_ties(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        edges = quantile_edges(values, 4)
+        assert len(edges) <= 1  # duplicates collapsed
+
+    def test_uniform_edges(self):
+        edges = uniform_edges(np.array([0.0, 10.0]), 5)
+        assert edges == [2.0, 4.0, 6.0, 8.0]
+
+    def test_uniform_edges_constant_column(self):
+        assert uniform_edges(np.array([3.0, 3.0]), 4) == []
+
+
+class TestLabels:
+    def test_format_plain(self):
+        assert format_interval_labels([25.0, 45.0]) == ["<=25", "(25-45]", ">45"]
+
+    def test_format_no_edges(self):
+        assert format_interval_labels([]) == ["all"]
+
+    def test_format_non_integer(self):
+        labels = format_interval_labels([1.5])
+        assert labels == ["<=1.5", ">1.5"]
+
+
+class TestDiscretizeColumn:
+    def test_explicit_edges_and_labels(self):
+        col = ContinuousColumn("age", [20.0, 30.0, 50.0])
+        spec = BinSpec(method="edges", edges=(25.0, 45.0), labels=("y", "m", "o"))
+        out = discretize_column(col, spec)
+        assert out.values_as_objects() == ["y", "m", "o"]
+
+    def test_boundary_values_go_left(self):
+        col = ContinuousColumn("v", [25.0])
+        spec = BinSpec(method="edges", edges=(25.0,), labels=("low", "high"))
+        assert discretize_column(col, spec).values_as_objects() == ["low"]
+
+    def test_label_count_mismatch(self):
+        col = ContinuousColumn("v", [1.0])
+        spec = BinSpec(method="edges", edges=(5.0,), labels=("only-one",))
+        with pytest.raises(DiscretizationError):
+            discretize_column(col, spec)
+
+    def test_duplicate_edges_rejected(self):
+        col = ContinuousColumn("v", [1.0])
+        spec = BinSpec(method="edges", edges=(5.0, 5.0))
+        with pytest.raises(DiscretizationError):
+            discretize_column(col, spec)
+
+    def test_quantile_three_bins_roughly_equal(self):
+        rng = np.random.default_rng(0)
+        col = ContinuousColumn("v", rng.normal(0, 1, 900))
+        out = discretize_column(col, BinSpec(method="quantile", bins=3))
+        counts = list(out.value_counts().values())
+        assert all(250 < c < 350 for c in counts)
+
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_every_value_gets_a_bin(self, bins, seed):
+        rng = np.random.default_rng(seed)
+        col = ContinuousColumn("v", rng.normal(0, 10, 50))
+        out = discretize_column(col, BinSpec(method="uniform", bins=bins))
+        assert len(out) == 50
+        assert out.cardinality <= bins
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_discretization_is_order_preserving(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 5, 80)
+        col = ContinuousColumn("v", values)
+        out = discretize_column(col, BinSpec(method="quantile", bins=4))
+        codes = out.codes
+        order = np.argsort(values, kind="stable")
+        assert (np.diff(codes[order]) >= 0).all()
+
+
+class TestDiscretizeTable:
+    def test_only_continuous_columns_touched(self, mixed_table):
+        out = discretize_table(mixed_table, default_bins=3)
+        assert out.column("age").is_categorical
+        assert out.categorical("sex").values_as_objects() == (
+            mixed_table.categorical("sex").values_as_objects()
+        )
+
+    def test_specs_override_default(self, mixed_table):
+        out = discretize_table(
+            mixed_table,
+            specs={"age": BinSpec(method="edges", edges=(30.0,), labels=("y", "o"))},
+        )
+        assert out.categorical("age").categories == ["y", "o"]
+
+    def test_pure_categorical_table_unchanged(self, small_table):
+        out = discretize_table(small_table)
+        assert out.to_dict() == small_table.to_dict()

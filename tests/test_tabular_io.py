@@ -1,0 +1,70 @@
+"""Unit tests for repro.tabular.io (CSV round-trips)."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.io import read_csv, write_csv
+from repro.tabular.table import Table
+
+
+def test_roundtrip_mixed_types(tmp_path):
+    table = Table.from_dict(
+        {
+            "name": ["a", "b", "c"],
+            "score": [1.25, 2.5, 3.75],
+        }
+    )
+    path = tmp_path / "data.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    assert back.column("name").is_categorical
+    assert back.column("score").is_continuous
+    assert back.to_dict()["score"] == [1.25, 2.5, 3.75]
+
+
+def test_force_categorical(tmp_path):
+    table = Table.from_dict({"code": [1.0, 2.0, 1.0]})
+    path = tmp_path / "data.csv"
+    write_csv(table, path)
+    back = read_csv(path, categorical={"code"})
+    assert back.column("code").is_categorical
+    assert back.categorical("code").values_as_objects() == ["1.0", "2.0", "1.0"]
+
+
+def test_small_int_column_reads_as_categorical(tmp_path):
+    table = Table.from_dict({"flag": [0, 1, 0, 1]})
+    path = tmp_path / "data.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    # Few distinct numeric values -> categorical after the float parse.
+    assert back.column("flag").is_categorical
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError):
+        read_csv(path)
+
+
+def test_ragged_rows_rejected(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(SchemaError):
+        read_csv(path)
+
+
+def test_header_only_file(tmp_path):
+    path = tmp_path / "header.csv"
+    path.write_text("a,b\n")
+    table = read_csv(path)
+    assert table.n_rows == 0
+    assert table.column_names == ["a", "b"]
+
+
+def test_values_with_commas_quoted(tmp_path):
+    table = Table.from_dict({"text": ["x,y", "plain"]})
+    path = tmp_path / "quoted.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    assert back.categorical("text").values_as_objects() == ["x,y", "plain"]

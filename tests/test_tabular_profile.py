@@ -1,0 +1,53 @@
+"""Tests for dataset profiling."""
+
+import pytest
+
+from repro.tabular.profile import class_balance, profile_table
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_dict(
+        {
+            "color": ["red"] * 6 + ["blue"] * 3 + ["green"],
+            "value": [i + 0.5 for i in range(10)],
+            "class": [1, 0] * 5,
+        }
+    )
+
+
+class TestProfile:
+    def test_one_row_per_column(self, table):
+        rows = profile_table(table)
+        assert [r["column"] for r in rows] == ["color", "value", "class"]
+
+    def test_categorical_summary(self, table):
+        rows = {r["column"]: r for r in profile_table(table)}
+        color = rows["color"]
+        assert color["type"] == "categorical"
+        assert color["cardinality"] == 3
+        assert "red (60%)" in color["summary"]
+
+    def test_continuous_summary(self, table):
+        rows = {r["column"]: r for r in profile_table(table)}
+        value = rows["value"]
+        assert value["type"] == "continuous"
+        assert "min 0.5" in value["summary"]
+        assert "max 9.5" in value["summary"]
+        assert "median 5" in value["summary"]
+
+    def test_top_categories_cap(self, table):
+        rows = {r["column"]: r for r in profile_table(table, top_categories=1)}
+        assert rows["color"]["summary"].count("(") == 1
+
+    def test_empty_table(self):
+        assert profile_table(Table([])) == []
+
+
+class TestClassBalance:
+    def test_shares_sum_to_one(self, table):
+        balance = class_balance(table, "class")
+        assert sum(balance.values()) == pytest.approx(1.0)
+        assert balance[0] == pytest.approx(0.5)
+        assert balance[1] == pytest.approx(0.5)

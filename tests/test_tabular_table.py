@@ -1,0 +1,202 @@
+"""Unit tests for repro.tabular.table."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.column import CategoricalColumn, ContinuousColumn
+from repro.tabular.table import Table, _looks_continuous
+
+
+class TestConstruction:
+    def test_from_dict_infers_types(self):
+        t = Table.from_dict(
+            {
+                "cat": ["a", "b", "a"],
+                "num": [1.5, 2.5, 3.5],
+                "small_int": [0, 1, 0],
+            }
+        )
+        assert t.column("cat").is_categorical
+        assert t.column("num").is_continuous
+        assert t.column("small_int").is_categorical
+
+    def test_from_dict_many_ints_is_continuous(self):
+        t = Table.from_dict({"v": list(range(30))})
+        assert t.column("v").is_continuous
+
+    def test_duplicate_names_rejected(self):
+        col = CategoricalColumn.from_values("x", ["a"])
+        with pytest.raises(SchemaError):
+            Table([col, col])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                [
+                    CategoricalColumn.from_values("a", ["x", "y"]),
+                    CategoricalColumn.from_values("b", ["x"]),
+                ]
+            )
+
+    def test_empty_table(self):
+        t = Table([])
+        assert t.n_rows == 0
+        assert t.column_names == []
+
+
+class TestAccess:
+    def test_column_lookup_error_lists_available(self, small_table):
+        with pytest.raises(SchemaError, match="color"):
+            small_table.column("nope")
+
+    def test_categorical_type_check(self, mixed_table):
+        with pytest.raises(SchemaError):
+            mixed_table.categorical("age")
+
+    def test_continuous_type_check(self, mixed_table):
+        with pytest.raises(SchemaError):
+            mixed_table.continuous("sex")
+
+    def test_name_lists(self, mixed_table):
+        assert mixed_table.continuous_names == ["age"]
+        assert mixed_table.categorical_names == ["sex"]
+
+    def test_contains(self, small_table):
+        assert "color" in small_table
+        assert "nope" not in small_table
+
+
+class TestRelationalOps:
+    def test_select_by_indices(self, small_table):
+        sel = small_table.select(np.array([0, 2]))
+        assert sel.n_rows == 2
+        assert sel.categorical("color").values_as_objects() == ["red", "blue"]
+
+    def test_select_by_mask(self, small_table):
+        mask = small_table.mask_equal("color", "red")
+        sel = small_table.select(mask)
+        assert sel.n_rows == 4
+        assert set(sel.categorical("color").values_as_objects()) == {"red"}
+
+    def test_select_bad_mask_length(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.select(np.array([True, False]))
+
+    def test_with_column_appends(self, small_table):
+        col = CategoricalColumn("extra", [0] * 8, [0, 1])
+        t = small_table.with_column(col)
+        assert "extra" in t
+        assert "extra" not in small_table  # original untouched
+
+    def test_with_column_replaces_same_name(self, small_table):
+        col = CategoricalColumn("pred", [0] * 8, [0, 1])
+        t = small_table.with_column(col)
+        assert t.categorical("pred").values_as_objects() == [0] * 8
+        assert t.n_columns == small_table.n_columns
+
+    def test_with_column_length_mismatch(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.with_column(CategoricalColumn("bad", [0], [0]))
+
+    def test_without_columns(self, small_table):
+        t = small_table.without_columns(["pred"])
+        assert "pred" not in t
+
+    def test_without_missing_column_raises(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.without_columns(["ghost"])
+
+    def test_project_orders_columns(self, small_table):
+        t = small_table.project(["size", "color"])
+        assert t.column_names == ["size", "color"]
+
+
+class TestEncoding:
+    def test_encoded_matrix_shape_and_dtype(self, small_table):
+        m = small_table.encoded_matrix(["color", "size"])
+        assert m.shape == (8, 2)
+        assert m.dtype == np.int32
+
+    def test_encoded_matrix_roundtrip(self, small_table):
+        m = small_table.encoded_matrix(["color"])
+        cats = small_table.categorical("color").categories
+        decoded = [cats[c] for c in m[:, 0]]
+        assert decoded == small_table.categorical("color").values_as_objects()
+
+    def test_cardinalities(self, small_table):
+        assert small_table.cardinalities(["color", "size"]) == [2, 2]
+
+    def test_encoded_matrix_empty_selection(self, small_table):
+        m = small_table.encoded_matrix([])
+        assert m.shape == (8, 0)
+
+
+class TestConversion:
+    def test_to_dict_roundtrip(self, small_table):
+        d = small_table.to_dict()
+        rebuilt = Table.from_dict(d)
+        assert rebuilt.n_rows == small_table.n_rows
+        assert rebuilt.to_dict() == d
+
+    def test_head(self, small_table):
+        assert small_table.head(3).n_rows == 3
+        assert small_table.head(100).n_rows == 8
+
+
+class TestTypeInference:
+    def test_strings_not_continuous(self):
+        assert not _looks_continuous(["a", "b"])
+
+    def test_bools_not_continuous(self):
+        assert not _looks_continuous([True, False])
+
+    def test_floats_continuous(self):
+        assert _looks_continuous([1.5, 2.5])
+
+    def test_empty_not_continuous(self):
+        assert not _looks_continuous([])
+
+
+class TestSortConcat:
+    def test_sort_by_continuous(self, mixed_table):
+        sorted_table = mixed_table.sort_by("age", ascending=False)
+        values = sorted_table.continuous("age").values
+        assert list(values) == sorted(values, reverse=True)
+
+    def test_sort_by_categorical(self, small_table):
+        sorted_table = small_table.sort_by("color")
+        values = sorted_table.categorical("color").values_as_objects()
+        assert values == sorted(values)
+
+    def test_sort_stable(self, small_table):
+        # equal keys keep their original relative order
+        sorted_table = small_table.sort_by("color")
+        sizes = sorted_table.categorical("size").values_as_objects()
+        # blue rows were originally at indices 2,3,5,7 -> S,L,L,S
+        assert sizes[:4] == ["S", "L", "L", "S"]
+
+    def test_concat_rowwise(self, small_table):
+        doubled = small_table.concat(small_table)
+        assert doubled.n_rows == 16
+        assert doubled.categorical("color").values_as_objects() == (
+            small_table.categorical("color").values_as_objects() * 2
+        )
+
+    def test_concat_schema_mismatch(self, small_table, mixed_table):
+        with pytest.raises(SchemaError):
+            small_table.concat(mixed_table)
+
+    def test_concat_category_mismatch(self, small_table):
+        from repro.tabular.column import CategoricalColumn
+
+        other = Table(
+            [
+                CategoricalColumn.from_values("color", ["green"] * 3),
+                CategoricalColumn.from_values("size", ["S"] * 3),
+                CategoricalColumn("class", [0, 1, 0], [0, 1]),
+                CategoricalColumn("pred", [0, 1, 0], [0, 1]),
+            ]
+        )
+        with pytest.raises(SchemaError):
+            small_table.concat(other)
