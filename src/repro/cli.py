@@ -58,8 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
         add_data_args(p)
         p.add_argument("--metric", default="fpr")
         p.add_argument("--support", type=float, default=0.1)
-        p.add_argument("--algorithm", default="fpgrowth",
-                       choices=["fpgrowth", "apriori", "eclat", "bruteforce"])
+        p.add_argument("--algorithm", default="bitset",
+                       choices=["bitset", "fpgrowth", "apriori", "eclat",
+                                "bruteforce"])
 
     p_explore = sub.add_parser("explore", help="top divergent patterns")
     add_explore_args(p_explore)

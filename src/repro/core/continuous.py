@@ -101,7 +101,7 @@ class ContinuousDivergenceExplorer:
     def explore(
         self,
         min_support: float = 0.1,
-        algorithm: str = "fpgrowth",
+        algorithm: str = "bitset",
         max_length: int | None = None,
     ) -> "ContinuousDivergenceResult":
         """Mine all frequent subgroups and their mean-score divergence."""

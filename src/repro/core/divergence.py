@@ -2,11 +2,18 @@
 
 :class:`DivergenceExplorer` wires everything together: it encodes the
 outcome function as one-hot channels, runs an outcome-augmented frequent
-pattern miner (FP-growth by default, Apriori or brute force optionally)
-and returns a :class:`~repro.core.result.PatternDivergenceResult` with
-the divergence of *all* frequent itemsets. The exploration is sound and
-complete up to the support threshold (Thm. 5.1), which is what enables
-global divergence and corrective-item analysis downstream.
+pattern miner (the packed-bitmap ``"bitset"`` backend by default;
+FP-growth, Apriori, ECLAT and brute force optionally) and returns a
+:class:`~repro.core.result.PatternDivergenceResult` with the divergence
+of *all* frequent itemsets. The exploration is sound and complete up to
+the support threshold (Thm. 5.1), which is what enables global
+divergence and corrective-item analysis downstream.
+
+Mining runs are memoized per explorer through a
+:class:`~repro.fpm.cache.MiningCache`, so repeated explorations of the
+same configuration (Shapley sweeps, pruning sweeps, the app server) pay
+the mining cost once; a run at support ``s`` also serves any later
+request at ``s' >= s`` by filtering.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import numpy as np
 from repro.core.outcomes import outcome_channels, outcome_metric
 from repro.core.result import PatternDivergenceResult
 from repro.exceptions import ReproError, SchemaError
+from repro.fpm.cache import MiningCache
 from repro.fpm.miner import mine_frequent
 from repro.fpm.transactions import ItemCatalog, TransactionDataset
 from repro.tabular.table import Table
@@ -40,6 +48,10 @@ class DivergenceExplorer:
     attributes:
         The analysis attributes. Defaults to every categorical column
         except the class columns.
+    mining_cache:
+        Cache for completed mining runs; a fresh private
+        :class:`~repro.fpm.cache.MiningCache` by default. Pass a shared
+        instance to pool cached runs across explorers of the same data.
     """
 
     def __init__(
@@ -48,10 +60,15 @@ class DivergenceExplorer:
         true_column: str,
         pred_column: str | None = None,
         attributes: Sequence[str] | None = None,
+        mining_cache: MiningCache | None = None,
     ) -> None:
         self.table = table
         self.true_column = true_column
         self.pred_column = pred_column
+        self.mining_cache = mining_cache if mining_cache is not None else MiningCache()
+        # TransactionDataset per metric, so the packed bitmaps and the
+        # fingerprint survive across explore() calls.
+        self._datasets: dict[str, TransactionDataset] = {}
         self._truth = _class_array(table, true_column)
         self._pred = _class_array(table, pred_column) if pred_column else None
 
@@ -86,8 +103,9 @@ class DivergenceExplorer:
         self,
         metric: str = "fpr",
         min_support: float = 0.1,
-        algorithm: str = "fpgrowth",
+        algorithm: str = "bitset",
         max_length: int | None = None,
+        use_cache: bool = True,
     ) -> PatternDivergenceResult:
         """Run Algorithm 1 and return the full divergence table.
 
@@ -100,18 +118,42 @@ class DivergenceExplorer:
         min_support:
             The support threshold ``s`` — the single algorithm parameter.
         algorithm:
-            FPM backend: ``"fpgrowth"`` (default), ``"apriori"`` or
-            ``"bruteforce"``.
+            FPM backend: ``"bitset"`` (default), ``"fpgrowth"``,
+            ``"apriori"``, ``"eclat"`` or ``"bruteforce"``. All produce
+            identical results; they differ only in speed.
         max_length:
             Optional cap on itemset length (all lengths by default).
+        use_cache:
+            Serve repeated configurations from :attr:`mining_cache`
+            (including monotone reuse: a cached run at support ``s``
+            answers any ``s' >= s``). Disable to force a fresh mining
+            run, e.g. when benchmarking.
         """
-        outcome = self.outcome_array(metric)
-        channels = outcome_channels(outcome)
-        dataset = TransactionDataset(self._matrix, self.catalog, channels)
-        frequent = mine_frequent(
-            dataset, min_support, algorithm=algorithm, max_length=max_length
-        )
+        dataset = self._dataset_for(metric)
+        if use_cache:
+            frequent = self.mining_cache.mine(
+                dataset, min_support, algorithm=algorithm, max_length=max_length
+            )
+        else:
+            frequent = mine_frequent(
+                dataset, min_support, algorithm=algorithm, max_length=max_length
+            )
         return PatternDivergenceResult(frequent, self.catalog, metric, min_support)
+
+    def _dataset_for(self, metric: str) -> TransactionDataset:
+        """The transaction dataset for ``metric``, reused across calls.
+
+        Reuse keeps the packed bitmaps and the cache fingerprint warm.
+        The cached instance is revalidated against freshly computed
+        channels, so re-registering a custom metric under the same name
+        cannot serve stale outcomes.
+        """
+        channels = outcome_channels(self.outcome_array(metric))
+        dataset = self._datasets.get(metric)
+        if dataset is None or not np.array_equal(dataset.channels, channels):
+            dataset = TransactionDataset(self._matrix, self.catalog, channels)
+            self._datasets[metric] = dataset
+        return dataset
 
     def outcome_array(self, metric: str) -> np.ndarray:
         """Evaluate the named outcome function on every instance."""

@@ -31,7 +31,7 @@ def explore_multi(
     explorer: DivergenceExplorer,
     metrics: Sequence[str],
     min_support: float = 0.1,
-    algorithm: str = "fpgrowth",
+    algorithm: str = "bitset",
     max_length: int | None = None,
 ) -> dict[str, PatternDivergenceResult]:
     """Explore several metrics with a single mining pass.

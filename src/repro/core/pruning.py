@@ -40,8 +40,10 @@ def prune_redundant(
 ) -> list[PatternRecord]:
     """All non-redundant, non-empty frequent patterns at threshold ``ε``.
 
-    Returned sorted by decreasing divergence. ``epsilon = 0`` keeps
-    every pattern where each item moves the divergence at all.
+    Returned sorted by decreasing divergence (ties: higher support,
+    shorter, then lexicographic — independent of the mining backend's
+    enumeration order). ``epsilon = 0`` keeps every pattern where each
+    item moves the divergence at all.
     """
     if epsilon < 0:
         raise ReproError(f"epsilon must be >= 0, got {epsilon}")
@@ -50,7 +52,9 @@ def prune_redundant(
         for key in result.frequent
         if len(key) > 0 and not is_redundant(result, key, epsilon)
     ]
-    kept.sort(key=lambda r: r.divergence, reverse=True)
+    kept.sort(
+        key=lambda r: (-r.divergence, -r.support, r.length, str(r.itemset))
+    )
     return kept
 
 

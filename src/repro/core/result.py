@@ -15,9 +15,11 @@ import math
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.items import Item, Itemset
 from repro.core.outcomes import positive_rate
-from repro.core.significance import divergence_t_statistic
+from repro.core.significance import divergence_t_statistic, divergence_t_statistics
 from repro.exceptions import ReproError
 from repro.fpm.miner import FrequentItemsets
 from repro.fpm.transactions import ItemCatalog
@@ -65,11 +67,30 @@ class PatternDivergenceResult:
         self.t_total = int(totals[1])
         self.f_total = int(totals[2])
         self.global_rate = positive_rate(self.t_total, self.f_total)
-        # key -> divergence, computed once for all itemsets
-        self._divergence: dict[frozenset[int], float] = {}
+        # The whole count table as one (N, 3) matrix, in iteration
+        # order; every per-pattern statistic is a single vectorized
+        # expression over its columns.
+        self._keys: list[frozenset[int]] = []
+        rows = []
         for key, counts in frequent.items():
-            rate = positive_rate(int(counts[1]), int(counts[2]))
-            self._divergence[key] = rate - self.global_rate
+            self._keys.append(key)
+            rows.append(counts[:3])
+        self._count_matrix = (
+            np.asarray(rows, dtype=np.int64)
+            if rows
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        t_col = self._count_matrix[:, 1].astype(np.float64)
+        f_col = self._count_matrix[:, 2].astype(np.float64)
+        denom = t_col + f_col
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rates = np.where(denom > 0, t_col / denom, np.nan)
+        self._rates = rates
+        divergences = rates - self.global_rate
+        # key -> divergence, computed once for all itemsets
+        self._divergence: dict[frozenset[int], float] = dict(
+            zip(self._keys, divergences.tolist())
+        )
         self._records: list[PatternRecord] | None = None
 
     # ------------------------------------------------------------------
@@ -155,11 +176,32 @@ class PatternDivergenceResult:
     # ------------------------------------------------------------------
 
     def records(self, include_empty: bool = False) -> list[PatternRecord]:
-        """All frequent patterns as records (cached)."""
+        """All frequent patterns as records (cached).
+
+        The numeric columns (support, rate, divergence, t-statistic) are
+        computed for the whole table in single vectorized expressions;
+        only the readable itemset decoding remains per-row.
+        """
         if self._records is None:
+            counts = self._count_matrix
+            n_col, t_col, f_col = counts[:, 0], counts[:, 1], counts[:, 2]
+            supports = n_col / self.n_rows
+            divergences = self._rates - self.global_rate
+            t_stats = divergence_t_statistics(
+                t_col, f_col, self.t_total, self.f_total
+            )
             self._records = [
-                self.record_for_key(key)
-                for key in self.frequent
+                PatternRecord(
+                    itemset=self.itemset_of(key),
+                    support=supports[i],
+                    support_count=int(n_col[i]),
+                    t_count=int(t_col[i]),
+                    f_count=int(f_col[i]),
+                    rate=self._rates[i],
+                    divergence=divergences[i],
+                    t_statistic=t_stats[i],
+                )
+                for i, key in enumerate(self._keys)
             ]
         if include_empty:
             return list(self._records)
@@ -176,7 +218,10 @@ class PatternDivergenceResult:
         """Top-k patterns ranked by a statistic.
 
         ``by`` is one of ``divergence``, ``abs_divergence``, ``support``,
-        ``t_statistic``, ``rate``. NaN-valued rows are excluded.
+        ``t_statistic``, ``rate``. NaN-valued rows are excluded. Ties are
+        broken by support (higher first), then pattern length (shorter
+        first), then lexicographically, so the ranking is identical
+        whichever mining backend produced the result.
         """
         rows = self.records()
         if min_support is not None:
@@ -193,7 +238,15 @@ class PatternDivergenceResult:
         if key_fn is None:
             raise ReproError(f"unknown ranking key {by!r}")
         rows = [r for r in rows if not math.isnan(key_fn(r))]
-        rows.sort(key=key_fn, reverse=not ascending)
+        sign = 1.0 if ascending else -1.0
+        rows.sort(
+            key=lambda r: (
+                sign * key_fn(r),
+                -r.support,
+                r.length,
+                str(r.itemset),
+            )
+        )
         return rows[:k]
 
     # ------------------------------------------------------------------

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 def beta_moments(k_pos: int, k_neg: int) -> tuple[float, float]:
     """Posterior mean and variance of the positive rate (paper Eq. 3).
@@ -60,3 +62,29 @@ def divergence_t_statistic(
     mu_i, v_i = beta_moments(k_pos_subset, k_neg_subset)
     mu_d, v_d = beta_moments(k_pos_data, k_neg_data)
     return welch_t_statistic(mu_i, v_i, mu_d, v_d)
+
+
+def divergence_t_statistics(
+    k_pos: np.ndarray, k_neg: np.ndarray, k_pos_data: int, k_neg_data: int
+) -> np.ndarray:
+    """Vectorized :func:`divergence_t_statistic` over count arrays.
+
+    ``k_pos``/``k_neg`` are parallel arrays of subset counts; returns the
+    float64 array of t-statistics, elementwise equal to the scalar form.
+    Used to build the whole divergence table in one shot.
+    """
+    k_pos = np.asarray(k_pos, dtype=np.float64)
+    k_neg = np.asarray(k_neg, dtype=np.float64)
+    total = k_pos + k_neg
+    mu = (k_pos + 1.0) / (total + 2.0)
+    var = (k_pos + 1.0) * (k_neg + 1.0) / ((total + 2.0) ** 2 * (total + 3.0))
+    mu_d, var_d = beta_moments(k_pos_data, k_neg_data)
+    diff = np.abs(mu - mu_d)
+    denom = np.sqrt(var + var_d)
+    # Beta variances are strictly positive, so denom > 0 always; the
+    # guard mirrors welch_t_statistic exactly anyway.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(
+            denom == 0.0, np.where(diff > 0.0, np.inf, 0.0), diff / denom
+        )
+    return out

@@ -1,0 +1,175 @@
+"""Bitset-vertical miner: packed coverage bitmaps and popcount tallies.
+
+The fourth (and default) backend. Like ECLAT it searches the item
+prefix tree depth-first in vertical format, but coverage is a
+``np.packbits``-packed uint8 bitmap instead of a tidset, and — because
+Algorithm 1's outcome channels are one-hot — the channel tallies are
+popcounts instead of row gathers.
+
+Each itemset carries a ``(1 + k, n_bytes)`` *coverage block*: row 0 is
+the coverage bitmap, row ``j`` is ``coverage & channel_j``. ANDing two
+blocks elementwise yields the block of the combined itemset (bitwise
+AND is idempotent on the channel rows), so one broadcast ``AND`` of a
+prefix block against the whole sibling block followed by one popcount
+produces, for every candidate extension at once, the full
+``[support, T, F]`` count vector of Algorithm 1. The
+``channels[tids].sum(axis=0)`` gathers that dominate ECLAT's profile
+disappear entirely, and per-node Python overhead is two numpy calls.
+
+Non-binary channels (the continuous extension's signed fixed-point
+sums) fall back to an unpack-and-gather per survivor, preserving exact
+agreement with the other backends on every input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpm.miner import FrequentItemsets, ItemsetKey, Miner
+from repro.fpm.transactions import (
+    _HAS_BITWISE_COUNT,
+    TransactionDataset,
+    popcount_rows,
+)
+from repro.fpm.vertical import depth_first_mine
+
+
+def _as_words(packed: np.ndarray) -> np.ndarray:
+    """Reinterpret a packed uint8 bitmap as uint64 words when possible.
+
+    Zero-pads the last axis to a multiple of 8 bytes (padding cannot
+    change AND/popcount results) so every bitwise op and popcount runs
+    over 8x fewer elements. Without a hardware popcount ufunc the byte
+    lookup table needs uint8 input, so the array is returned unchanged.
+    """
+    if not _HAS_BITWISE_COUNT:
+        return packed
+    pad = (-packed.shape[-1]) % 8
+    if pad:
+        widths = [(0, 0)] * (packed.ndim - 1) + [(0, pad)]
+        packed = np.pad(packed, widths)
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+class BitsetMiner(Miner):
+    """Depth-first vertical miner over packed-bitmap intersections."""
+
+    name = "bitset"
+
+    def mine(
+        self,
+        dataset: TransactionDataset,
+        min_support: float,
+        max_length: int | None = None,
+    ) -> FrequentItemsets:
+        min_count = self._validate(dataset, min_support, max_length)
+        n = dataset.n_rows
+        out: dict[ItemsetKey, np.ndarray] = {
+            frozenset(): dataset.counts_for_mask(np.ones(n, dtype=bool))
+        }
+        if max_length == 0:
+            return FrequentItemsets(out, n, min_support)
+
+        catalog = dataset.catalog
+        item_columns = catalog._item_column
+        one_hot = dataset.n_channels > 0 and dataset.channels_binary
+        if one_hot:
+            expand, roots, root_counts = self._prepare_one_hot(dataset, min_count)
+        else:
+            expand, roots, root_counts = self._prepare_fallback(dataset, min_count)
+
+        root_items = np.flatnonzero(
+            popcount_rows(dataset.packed_item_bitmaps) >= min_count
+        )
+        for index, item_id in enumerate(root_items.tolist()):
+            out[frozenset((item_id,))] = root_counts[index]
+
+        def expand_filtered(prefix_cov, last_col, sib_items, sib_covs):
+            keep = item_columns[sib_items] != last_col
+            return expand(prefix_cov, sib_items[keep], sib_covs[keep])
+
+        depth_first_mine(
+            out, root_items, roots, expand_filtered, catalog.column_of, max_length
+        )
+        return FrequentItemsets(out, n, min_support)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _prepare_one_hot(dataset: TransactionDataset, min_count: int):
+        """Build root coverage blocks and the one-hot expander.
+
+        Coverages are ``(1 + k, n_words)`` uint64 blocks whose popcount
+        row is the ``[n, ch...]`` count vector itself.
+        """
+        item_bitmaps = _as_words(dataset.packed_item_bitmaps)
+        full = _as_words(np.packbits(np.ones(dataset.n_rows, dtype=bool)))
+        base = np.concatenate(
+            [full[None, :], _as_words(dataset.packed_channel_bitmaps)], axis=0
+        )
+        # (n_items, 1 + k, n_words): item AND [ones, ch_1, ..., ch_k].
+        blocks = item_bitmaps[:, None, :] & base[None, :, :]
+        counts = popcount_rows(blocks)
+        frequent = counts[:, 0] >= min_count
+        roots = blocks[frequent]
+        root_counts = counts[frequent]
+
+        def expand(prefix_block, sib_items, sib_blocks):
+            if len(sib_items) == 0:
+                return sib_items, sib_blocks, sib_blocks
+            # Phase 1: support filter on the coverage row of every
+            # candidate; phase 2: channel rows for survivors only.
+            coverage = prefix_block[0][None, :] & sib_blocks[:, 0, :]
+            supports = popcount_rows(coverage)
+            keep = supports >= min_count
+            if not keep.any():
+                return sib_items[:0], sib_blocks[:0], sib_blocks[:0]
+            channel_rows = prefix_block[None, 1:, :] & sib_blocks[keep, 1:, :]
+            extended = np.concatenate(
+                [coverage[keep][:, None, :], channel_rows], axis=1
+            )
+            counts = np.concatenate(
+                [supports[keep][:, None], popcount_rows(channel_rows)], axis=1
+            )
+            return sib_items[keep], extended, counts
+
+        return expand, roots, root_counts
+
+    @staticmethod
+    def _prepare_fallback(dataset: TransactionDataset, min_count: int):
+        """Plain-bitmap expander for non-binary (or absent) channels.
+
+        Coverage is the bare ``(n_bytes,)`` bitmap; channel sums, when
+        present, are gathered from the channel matrix per survivor.
+        """
+        n = dataset.n_rows
+        channels = dataset.channels
+        n_channels = dataset.n_channels
+        item_bitmaps = dataset.packed_item_bitmaps
+
+        def count_vectors(bitmaps: np.ndarray, supports: np.ndarray) -> np.ndarray:
+            if n_channels == 0 or bitmaps.shape[0] == 0:
+                vecs = np.zeros((bitmaps.shape[0], 1 + n_channels), dtype=np.int64)
+                vecs[:, 0] = supports
+                return vecs
+            masks = np.unpackbits(bitmaps, axis=1, count=n).astype(bool)
+            sums = np.stack([channels[m].sum(axis=0) for m in masks])
+            return np.concatenate([supports[:, None], sums], axis=1).astype(
+                np.int64
+            )
+
+        supports = popcount_rows(item_bitmaps)
+        frequent = supports >= min_count
+        roots = item_bitmaps[frequent]
+        root_counts = count_vectors(roots, supports[frequent])
+
+        def expand(prefix_bitmap, sib_items, sib_bitmaps):
+            if len(sib_items) == 0:
+                return sib_items, sib_bitmaps, sib_bitmaps
+            extended = prefix_bitmap[None, :] & sib_bitmaps
+            supports = popcount_rows(extended)
+            keep = supports >= min_count
+            items, extended = sib_items[keep], extended[keep]
+            return items, extended, count_vectors(extended, supports[keep])
+
+        return expand, roots, root_counts

@@ -1,0 +1,156 @@
+"""Memoization of mining runs, with monotone support reuse.
+
+Frequent-pattern mining is the paper's single tunable cost, and the
+downstream analyses re-mine the very same dataset over and over: a
+Shapley sweep explores at one support per plot point, the pruning sweep
+re-runs `explore` per epsilon, and the app server answers every request
+with a fresh exploration. :class:`MiningCache` keys completed runs by
+``(dataset fingerprint, algorithm, max_length)`` and serves:
+
+- *exact hits* — same support — at zero cost, and
+- *monotone hits* — a cached run at support ``s`` answers any request
+  at ``s' >= s`` by filtering its itemsets down to the new threshold
+  (soundness/completeness of the miners makes the filtered table
+  byte-identical to a fresh run).
+
+Entries are evicted least-recently-used beyond ``max_entries``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.fpm.miner import FrequentItemsets, Miner, mine_frequent
+from repro.fpm.transactions import TransactionDataset
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for tests, benchmarks and the app's /stats."""
+
+    hits: int = 0
+    monotone_hits: int = 0
+    misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "monotone_hits": self.monotone_hits,
+            "misses": self.misses,
+        }
+
+
+@dataclass
+class _Entry:
+    min_support: float
+    max_length: int | None
+    result: FrequentItemsets
+
+
+class MiningCache:
+    """LRU cache of :func:`repro.fpm.miner.mine_frequent` runs."""
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        # (fingerprint, algorithm) -> entries, most recently used last.
+        self._entries: OrderedDict[tuple[str, str], list[_Entry]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        dataset: TransactionDataset,
+        min_support: float,
+        algorithm: str = "bitset",
+        max_length: int | None = None,
+    ) -> FrequentItemsets:
+        """Like :func:`mine_frequent`, but memoized.
+
+        A cached run is reusable when it covers at least the requested
+        search space: its support is no higher and its length cap no
+        tighter. The served result is filtered down to the requested
+        thresholds, so callers cannot observe whether they hit or missed.
+        """
+        key = (dataset.fingerprint(), algorithm)
+        bucket = self._entries.get(key)
+        if bucket is not None:
+            self._entries.move_to_end(key)
+            for entry in bucket:
+                if not self._covers(entry, min_support, max_length):
+                    continue
+                exact = (
+                    entry.min_support == min_support
+                    and entry.max_length == max_length
+                )
+                if exact:
+                    self.stats.hits += 1
+                    return entry.result
+                self.stats.monotone_hits += 1
+                return _filter(entry.result, dataset, min_support, max_length)
+        self.stats.misses += 1
+        result = mine_frequent(
+            dataset, min_support, algorithm=algorithm, max_length=max_length
+        )
+        self._store(key, _Entry(min_support, max_length, result))
+        return result
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _covers(
+        entry: _Entry, min_support: float, max_length: int | None
+    ) -> bool:
+        if entry.min_support > min_support:
+            return False
+        if entry.max_length is None:
+            return True
+        return max_length is not None and max_length <= entry.max_length
+
+    def _store(self, key: tuple[str, str], entry: _Entry) -> None:
+        bucket = self._entries.setdefault(key, [])
+        # Drop runs the new entry dominates (higher support, tighter or
+        # equal length cap) — they can never serve a request this one
+        # cannot.
+        bucket[:] = [
+            e
+            for e in bucket
+            if not self._covers(entry, e.min_support, e.max_length)
+        ]
+        bucket.append(entry)
+        self._entries.move_to_end(key)
+        while len(self) > self.max_entries:
+            oldest_key = next(iter(self._entries))
+            oldest_bucket = self._entries[oldest_key]
+            oldest_bucket.pop(0)
+            if not oldest_bucket:
+                del self._entries[oldest_key]
+
+
+def _filter(
+    cached: FrequentItemsets,
+    dataset: TransactionDataset,
+    min_support: float,
+    max_length: int | None,
+) -> FrequentItemsets:
+    """Project a cached run onto a smaller (support, length) space."""
+    min_count = Miner._validate(dataset, min_support, max_length)
+    counts = {
+        key: vec
+        for key, vec in cached.items()
+        if (len(key) == 0)
+        or (
+            int(vec[0]) >= min_count
+            and (max_length is None or len(key) <= max_length)
+        )
+    }
+    return FrequentItemsets(counts, cached.n_rows, min_support)

@@ -2,14 +2,18 @@
 
 Zaki's vertical-format algorithm: each itemset is represented by its
 *tidset* (the sorted array of transaction ids it covers), and an
-extension's tidset is the intersection of its parents'. Depth-first
-search over a prefix tree of items keeps memory proportional to the
-search path. Channel sums (the T/F/⊥ outcome tallies of Algorithm 1)
-are computed from per-transaction channel rows via the tidset.
+extension's tidset is the intersection of its parents'. The depth-first
+walk over the item prefix tree is the shared explicit-stack search of
+:mod:`repro.fpm.vertical`, so deep lattices (low support, many
+attributes) cannot exhaust Python's recursion limit. Channel sums (the
+T/F/⊥ outcome tallies of Algorithm 1) are computed from per-transaction
+channel rows via the tidset.
 
 A third backend alongside Apriori and FP-growth — the paper's point
 that DivExplorer "can leverage any frequent pattern mining technique"
-made concrete.
+made concrete. For most workloads the packed-bitmap
+:class:`~repro.fpm.bitset.BitsetMiner` dominates it; ECLAT remains as
+the readable reference for the vertical search.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import numpy as np
 
 from repro.fpm.miner import FrequentItemsets, ItemsetKey, Miner
 from repro.fpm.transactions import TransactionDataset
+from repro.fpm.vertical import depth_first_mine
 
 
 class EclatMiner(Miner):
@@ -51,34 +56,32 @@ class EclatMiner(Miner):
         # Frequent 1-itemsets with their tidsets, in fixed item-id order
         # (item ids are attribute-grouped, so same-attribute items are
         # adjacent and their intersections vanish immediately).
-        roots: list[tuple[int, np.ndarray]] = []
+        root_items: list[int] = []
+        root_tids: list[np.ndarray] = []
         for item_id in range(catalog.n_items):
             tids = np.flatnonzero(dataset.item_mask(item_id))
             if tids.size >= min_count:
                 out[frozenset((item_id,))] = counts_for_tids(tids)
-                roots.append((item_id, tids))
+                root_items.append(item_id)
+                root_tids.append(tids)
 
-        def extend(
-            prefix: list[int],
-            prefix_tids: np.ndarray,
-            siblings: list[tuple[int, np.ndarray]],
-        ) -> None:
-            if max_length is not None and len(prefix) >= max_length:
-                return
-            prefix_cols = {catalog.column_of(i) for i in prefix}
-            survivors: list[tuple[int, np.ndarray]] = []
-            for item_id, item_tids in siblings:
-                if catalog.column_of(item_id) in prefix_cols:
+        def expand(prefix_tids, last_col, sibling_items, sibling_tids):
+            items: list[int] = []
+            coverages: list[np.ndarray] = []
+            counts: list[np.ndarray] = []
+            for item_id, item_tids in zip(sibling_items, sibling_tids):
+                if catalog.column_of(item_id) == last_col:
                     continue
                 tids = np.intersect1d(
                     prefix_tids, item_tids, assume_unique=True
                 )
                 if tids.size >= min_count:
-                    survivors.append((item_id, tids))
-                    out[frozenset(prefix + [item_id])] = counts_for_tids(tids)
-            for index, (item_id, tids) in enumerate(survivors):
-                extend(prefix + [item_id], tids, survivors[index + 1 :])
+                    items.append(item_id)
+                    coverages.append(tids)
+                    counts.append(counts_for_tids(tids))
+            return items, coverages, counts
 
-        for index, (item_id, tids) in enumerate(roots):
-            extend([item_id], tids, roots[index + 1 :])
+        depth_first_mine(
+            out, root_items, root_tids, expand, catalog.column_of, max_length
+        )
         return FrequentItemsets(out, n, min_support)

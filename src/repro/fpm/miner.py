@@ -129,28 +129,35 @@ class Miner:
         if dataset.n_rows == 0:
             raise MiningError("cannot mine an empty dataset")
         # An itemset is frequent when count / n_rows >= min_support.
-        # Use ceil with exact arithmetic to avoid float edge cases.
-        return int(np.ceil(min_support * dataset.n_rows - 1e-9))
+        # Use ceil with a small backoff so exact multiples (0.3 * 10)
+        # are not pushed up by float noise, and clamp to >= 1: support
+        # is strictly positive, so a zero-coverage itemset is never
+        # frequent even when min_support * n_rows rounds down to 0.
+        return max(1, int(np.ceil(min_support * dataset.n_rows - 1e-9)))
 
 
 def mine_frequent(
     dataset: TransactionDataset,
     min_support: float,
-    algorithm: str = "fpgrowth",
+    algorithm: str = "bitset",
     max_length: int | None = None,
 ) -> FrequentItemsets:
     """Mine frequent itemsets with the chosen backend.
 
-    ``algorithm`` is one of ``"fpgrowth"``, ``"apriori"``, ``"eclat"``
-    or ``"bruteforce"`` (the latter only suitable for small data; it
-    exists as a correctness oracle).
+    ``algorithm`` is one of ``"bitset"`` (the default: packed-bitmap
+    vertical search, fastest), ``"fpgrowth"``, ``"apriori"``,
+    ``"eclat"`` or ``"bruteforce"`` (the latter only suitable for small
+    data; it exists as a correctness oracle). All backends produce
+    identical results.
     """
     from repro.fpm.apriori import AprioriMiner
+    from repro.fpm.bitset import BitsetMiner
     from repro.fpm.bruteforce import BruteForceMiner
     from repro.fpm.eclat import EclatMiner
     from repro.fpm.fpgrowth import FPGrowthMiner
 
     miners = {
+        "bitset": BitsetMiner,
         "fpgrowth": FPGrowthMiner,
         "apriori": AprioriMiner,
         "eclat": EclatMiner,

@@ -10,6 +10,7 @@ matrix used by Algorithm 1.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
 from typing import Any
 
@@ -21,10 +22,29 @@ from repro.exceptions import MiningError
 # rows covered by a packed bitset intersection.
 _POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
 
+# numpy >= 2.0 ships a hardware popcount ufunc; older versions fall back
+# to the byte lookup table.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
 
 def popcount(packed: np.ndarray) -> int:
     """Number of set bits in a ``np.packbits``-packed uint8 array."""
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(packed).sum(dtype=np.int64))
     return int(_POPCOUNT[packed].sum())
+
+
+def popcount_rows(packed: np.ndarray) -> np.ndarray:
+    """Set-bit counts along the last axis of a packed uint8 array.
+
+    For a ``(..., n_bytes)`` input, returns the ``(...)`` int64 array of
+    per-row population counts. This is the vectorized primitive behind
+    the bitset miner: one call counts the coverage of a whole batch of
+    candidate itemsets.
+    """
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(packed).sum(axis=-1, dtype=np.int64)
+    return _POPCOUNT[packed].sum(axis=-1)
 
 
 class ItemCatalog:
@@ -135,6 +155,13 @@ class TransactionDataset:
         self.n_channels = ch.shape[1]
         # global item ids per row: matrix + per-column offsets
         self.item_matrix = self.matrix + catalog.offsets[:-1].astype(np.int32)
+        # Lazily built caches (packed bitmaps, fingerprint); building
+        # them costs one pass over the data, so miners that do not need
+        # them (Apriori, FP-growth) never pay for it.
+        self._packed_items: np.ndarray | None = None
+        self._packed_channels: np.ndarray | None = None
+        self._channels_binary: bool | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # per-item coverage
@@ -164,3 +191,74 @@ class TransactionDataset:
         for i in item_ids:
             mask &= self.item_mask(i)
         return mask
+
+    # ------------------------------------------------------------------
+    # packed (vertical bitmap) representation
+    # ------------------------------------------------------------------
+
+    @property
+    def n_packed_bytes(self) -> int:
+        """Bytes per packed row bitmap (``ceil(n_rows / 8)``)."""
+        return (self.n_rows + 7) // 8
+
+    @property
+    def packed_item_bitmaps(self) -> np.ndarray:
+        """``(n_items, n_packed_bytes) uint8`` coverage bitmaps, one row
+        per item id, built with ``np.packbits`` (big-endian bit order).
+
+        Padding bits in the trailing byte are zero, so bitwise ANDs and
+        popcounts over these rows are exact. Built once and cached.
+        """
+        if self._packed_items is None:
+            n_items = self.catalog.n_items
+            dense = np.zeros((n_items, self.n_rows), dtype=bool)
+            if self.n_rows:
+                n_attrs = self.item_matrix.shape[1]
+                row_ids = np.repeat(np.arange(self.n_rows), n_attrs)
+                dense[self.item_matrix.ravel(), row_ids] = True
+            self._packed_items = np.packbits(dense, axis=1)
+        return self._packed_items
+
+    @property
+    def channels_binary(self) -> bool:
+        """Whether every channel value is 0 or 1 (one-hot outcomes)."""
+        if self._channels_binary is None:
+            ch = self.channels
+            self._channels_binary = bool(((ch == 0) | (ch == 1)).all())
+        return self._channels_binary
+
+    @property
+    def packed_channel_bitmaps(self) -> np.ndarray:
+        """``(n_channels, n_packed_bytes) uint8`` bitmaps of the binary
+        outcome channels.
+
+        Only defined for binary (one-hot) channels, where a channel sum
+        over an itemset's rows reduces to
+        ``popcount(itemset_bitmap & channel_bitmap)``. Raises
+        ``MiningError`` otherwise.
+        """
+        if self._packed_channels is None:
+            if not self.channels_binary:
+                raise MiningError(
+                    "packed channel bitmaps require binary (one-hot) channels"
+                )
+            self._packed_channels = np.packbits(
+                self.channels.T.astype(bool), axis=1
+            )
+        return self._packed_channels
+
+    def fingerprint(self) -> str:
+        """Content hash identifying (matrix, channels, catalog) exactly.
+
+        Used as the dataset component of mining-cache keys: two datasets
+        with equal fingerprints produce identical mining results.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(repr(self.matrix.shape).encode())
+            h.update(np.ascontiguousarray(self.matrix).tobytes())
+            h.update(repr(self.channels.shape).encode())
+            h.update(np.ascontiguousarray(self.channels).tobytes())
+            h.update(repr(self.catalog.cardinalities).encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint

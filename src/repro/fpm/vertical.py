@@ -1,0 +1,89 @@
+"""Shared depth-first search over the item prefix tree.
+
+Both vertical miners (:class:`~repro.fpm.eclat.EclatMiner` over sorted
+tidsets, :class:`~repro.fpm.bitset.BitsetMiner` over packed bitmaps)
+explore the same search space: a prefix tree of items in fixed id order,
+where a node's children are the surviving right-siblings of its last
+item. They differ only in the coverage representation and in how an
+extension's coverage and counts are computed, so the tree walk lives
+here once, as an explicit stack — deep lattices (low support, many
+attributes) cannot hit Python's recursion limit.
+
+Siblings are carried as *parallel sequences* (item ids and coverages)
+rather than lists of pairs so a backend can use numpy arrays for both:
+slicing then yields views, and a whole candidate block can be processed
+in single vectorized calls.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.fpm.miner import ItemsetKey
+
+# expand(prefix_coverage, last_column, sibling_items, sibling_coverages)
+# returns the surviving extensions as parallel sequences
+# (item_ids, coverages, count_vectors). It must skip candidates whose
+# item belongs to ``last_column`` and those below the support threshold.
+ExpandFn = Callable[
+    [Any, int, Sequence[int], Sequence[Any]],
+    tuple[Sequence[int], Sequence[Any], Sequence[np.ndarray]],
+]
+
+
+def depth_first_mine(
+    out: dict[ItemsetKey, np.ndarray],
+    root_items: Sequence[int],
+    root_coverages: Sequence[Any],
+    expand: ExpandFn,
+    column_of: Callable[[int], int],
+    max_length: int | None,
+) -> None:
+    """Walk the prefix tree from the frequent 1-itemsets, filling ``out``.
+
+    ``root_items``/``root_coverages`` must be in fixed item-id order with
+    their counts already recorded; every deeper frequent itemset
+    discovered via ``expand`` is added to ``out`` keyed by its frozen
+    item-id set.
+
+    Candidate lists only need filtering against the *last* prefix item's
+    column: a node's sibling list was already filtered against every
+    earlier prefix column when its ancestors expanded.
+    """
+    # Each frame is (prefix_items, prefix_coverage, sibling_items,
+    # sibling_coverages); sibling sequences are slices (views, for numpy
+    # backends) of the parent's survivor block.
+    stack: list[tuple[tuple[int, ...], Any, Sequence[int], Sequence[Any]]] = []
+    for index in range(len(root_items) - 1, -1, -1):
+        stack.append(
+            (
+                (int(root_items[index]),),
+                root_coverages[index],
+                root_items[index + 1 :],
+                root_coverages[index + 1 :],
+            )
+        )
+    while stack:
+        prefix, coverage, sibling_items, sibling_coverages = stack.pop()
+        if len(sibling_items) == 0:
+            continue
+        if max_length is not None and len(prefix) >= max_length:
+            continue
+        items, coverages, counts = expand(
+            coverage, column_of(prefix[-1]), sibling_items, sibling_coverages
+        )
+        n_survivors = len(items)
+        for index in range(n_survivors):
+            out[frozenset(prefix + (int(items[index]),))] = counts[index]
+        for index in range(n_survivors - 1, -1, -1):
+            stack.append(
+                (
+                    prefix + (int(items[index]),),
+                    coverages[index],
+                    items[index + 1 :],
+                    coverages[index + 1 :],
+                )
+            )

@@ -1,0 +1,220 @@
+"""Tests for the bitset miner and its packed-bitmap substrate.
+
+The brute-force enumerator is the oracle: `BitsetMiner` must produce
+exactly equal itemsets, supports and channel counts on any input
+(Theorem 5.1 for the fourth backend), including the non-one-hot
+channel fallback. The shared explicit-stack DFS is additionally pinned
+as genuinely non-recursive.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpm.bitset import BitsetMiner, _as_words
+from repro.fpm.bruteforce import BruteForceMiner
+from repro.fpm.miner import mine_frequent
+from repro.fpm.transactions import (
+    ItemCatalog,
+    TransactionDataset,
+    popcount,
+    popcount_rows,
+)
+from repro.fpm.vertical import depth_first_mine
+from tests.conftest import make_random_dataset
+from tests.test_fpm_miners import tiny_dataset
+
+
+class TestHandChecked:
+    def test_supports_exact(self):
+        result = BitsetMiner().mine(tiny_dataset(), min_support=1 / 6)
+        assert result.support_count(frozenset({0})) == 3
+        assert result.support_count(frozenset({1, 3})) == 2
+
+    def test_channel_sums_exact(self):
+        result = BitsetMiner().mine(tiny_dataset(), min_support=1 / 6)
+        assert result.counts(frozenset({0})).tolist() == [3, 2, 1]
+        assert result.counts(frozenset({1, 3})).tolist() == [2, 1, 0]
+
+    def test_max_length(self):
+        result = BitsetMiner().mine(tiny_dataset(), min_support=0.1, max_length=1)
+        assert result.max_length() == 1
+
+    def test_max_length_zero(self):
+        result = BitsetMiner().mine(tiny_dataset(), min_support=0.1, max_length=0)
+        assert len(result) == 1
+
+    def test_registered_in_dispatch(self):
+        result = mine_frequent(tiny_dataset(), 0.2, algorithm="bitset")
+        assert result.totals.tolist() == [6, 3, 2]
+
+    def test_is_default_backend(self):
+        named = mine_frequent(tiny_dataset(), 0.2, algorithm="bitset")
+        default = mine_frequent(tiny_dataset(), 0.2)
+        assert set(default) == set(named)
+        for key in named:
+            assert default.counts(key).tolist() == named.counts(key).tolist()
+
+
+class TestAgreement:
+    """Bitset output is exactly the brute-force oracle's."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("support", [0.02, 0.15, 0.5])
+    def test_matches_bruteforce(self, seed, support):
+        ds = make_random_dataset(seed)
+        oracle = BruteForceMiner().mine(ds, support)
+        result = BitsetMiner().mine(ds, support)
+        assert set(result) == set(oracle)
+        for key in oracle:
+            assert result.counts(key).tolist() == oracle.counts(key).tolist()
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_rows=st.integers(5, 60),
+        n_attrs=st.integers(1, 4),
+        card=st.integers(1, 4),
+        support=st.floats(0.01, 0.9),
+        max_length=st.sampled_from([None, 1, 2, 3]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_property(
+        self, seed, n_rows, n_attrs, card, support, max_length
+    ):
+        ds = make_random_dataset(seed, n_rows=n_rows, n_attrs=n_attrs, card=card)
+        oracle = BruteForceMiner().mine(ds, support, max_length=max_length)
+        result = BitsetMiner().mine(ds, support, max_length=max_length)
+        assert set(result) == set(oracle)
+        for key in oracle:
+            assert result.counts(key).tolist() == oracle.counts(key).tolist()
+
+
+class TestChannelFallback:
+    """Non-one-hot channels take the gather path, same results."""
+
+    def test_negative_channels(self):
+        matrix = np.array([[0], [0], [1]])
+        catalog = ItemCatalog(["a"], [[0, 1]])
+        channels = np.array([[-5], [3], [7]])
+        ds = TransactionDataset(matrix, catalog, channels)
+        result = BitsetMiner().mine(ds, 0.3)
+        assert result.counts(frozenset({0})).tolist() == [2, -2]
+        assert result.counts(frozenset({1})).tolist() == [1, 7]
+
+    def test_wide_channels_match_oracle(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 3, size=(80, 3))
+        catalog = ItemCatalog(["x", "y", "z"], [[0, 1, 2]] * 3)
+        channels = rng.integers(-10, 10, size=(80, 4))
+        ds = TransactionDataset(matrix, catalog, channels)
+        oracle = BruteForceMiner().mine(ds, 0.05)
+        result = BitsetMiner().mine(ds, 0.05)
+        assert set(result) == set(oracle)
+        for key in oracle:
+            assert result.counts(key).tolist() == oracle.counts(key).tolist()
+
+    def test_no_channels(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.integers(0, 2, size=(60, 3))
+        catalog = ItemCatalog(["a", "b", "c"], [[0, 1]] * 3)
+        ds = TransactionDataset(matrix, catalog)
+        oracle = BruteForceMiner().mine(ds, 0.1)
+        result = BitsetMiner().mine(ds, 0.1)
+        assert set(result) == set(oracle)
+        for key in oracle:
+            assert result.counts(key).tolist() == oracle.counts(key).tolist()
+
+
+class TestPackedSubstrate:
+    def test_popcount_matches_python(self):
+        rng = np.random.default_rng(3)
+        packed = rng.integers(0, 256, size=37, dtype=np.uint8)
+        expected = sum(bin(b).count("1") for b in packed.tolist())
+        assert popcount(packed) == expected
+
+    def test_popcount_rows_last_axis(self):
+        rng = np.random.default_rng(4)
+        packed = rng.integers(0, 256, size=(5, 3, 11), dtype=np.uint8)
+        counts = popcount_rows(packed)
+        assert counts.shape == (5, 3)
+        for i in range(5):
+            for j in range(3):
+                assert counts[i, j] == popcount(packed[i, j])
+
+    def test_item_bitmaps_match_masks(self):
+        ds = make_random_dataset(11, n_rows=53)  # odd → padding bits in play
+        bitmaps = ds.packed_item_bitmaps
+        assert bitmaps.shape == (ds.catalog.n_items, ds.n_packed_bytes)
+        for item_id in range(ds.catalog.n_items):
+            expected = np.packbits(ds.item_mask(item_id))
+            assert (bitmaps[item_id] == expected).all()
+
+    def test_channel_bitmaps_one_hot_only(self):
+        ds = make_random_dataset(5)
+        assert ds.channels_binary
+        bitmaps = ds.packed_channel_bitmaps
+        for j in range(ds.n_channels):
+            expected = np.packbits(ds.channels[:, j].astype(bool))
+            assert (bitmaps[j] == expected).all()
+
+    def test_channel_bitmaps_reject_non_binary(self):
+        from repro.exceptions import MiningError
+
+        matrix = np.array([[0], [1]])
+        catalog = ItemCatalog(["a"], [[0, 1]])
+        ds = TransactionDataset(matrix, catalog, np.array([[2], [0]]))
+        assert not ds.channels_binary
+        with pytest.raises(MiningError):
+            ds.packed_channel_bitmaps
+
+    def test_as_words_preserves_popcounts(self):
+        rng = np.random.default_rng(6)
+        for n_bytes in (1, 7, 8, 9, 16, 41):
+            packed = rng.integers(0, 256, size=(4, n_bytes), dtype=np.uint8)
+            words = _as_words(packed)
+            assert (popcount_rows(words) == popcount_rows(packed)).all()
+
+    def test_fingerprint_identity(self):
+        a = make_random_dataset(0)
+        b = make_random_dataset(0)
+        c = make_random_dataset(1)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_fingerprint_sees_channels(self):
+        matrix = np.array([[0], [1]])
+        catalog = ItemCatalog(["a"], [[0, 1]])
+        with_ch = TransactionDataset(matrix, catalog, np.array([[1], [0]]))
+        without = TransactionDataset(matrix, catalog)
+        assert with_ch.fingerprint() != without.fingerprint()
+
+
+class TestExplicitStack:
+    def test_walker_survives_beyond_recursion_limit(self):
+        """A chain lattice deeper than the recursion limit must mine fine."""
+        depth = sys.getrecursionlimit() + 500
+        cov = np.zeros(1, dtype=np.uint8)
+        counts = np.array([1], dtype=np.int64)
+        out = {}
+
+        def expand(prefix_cov, last_col, sib_items, sib_covs):
+            item = sib_items[0]
+            survivors = [item]
+            if item + 1 < depth:
+                # one survivor that continues the chain, plus the spare
+                # sibling that keeps the next frame expandable
+                survivors.append(item + 1)
+            return survivors, [cov] * len(survivors), [counts] * len(survivors)
+
+        depth_first_mine(
+            out,
+            [0, 1],
+            [cov, cov],
+            expand,
+            column_of=lambda item: item,
+            max_length=None,
+        )
+        assert max(len(key) for key in out) >= depth - 2

@@ -1,0 +1,214 @@
+"""Tests for the mining cache and its wiring into the explorer."""
+
+import numpy as np
+import pytest
+
+import repro.fpm.cache as cache_module
+from repro.core.divergence import DivergenceExplorer
+from repro.fpm.cache import MiningCache
+from repro.fpm.miner import mine_frequent
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+from tests.conftest import make_random_dataset
+
+
+def assert_same_table(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        assert a.counts(key).tolist() == b.counts(key).tolist()
+
+
+def make_explorer(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    cols = [
+        CategoricalColumn("a", rng.integers(0, 3, n), [0, 1, 2]),
+        CategoricalColumn("b", rng.integers(0, 2, n), [0, 1]),
+        CategoricalColumn("c", rng.integers(0, 4, n), [0, 1, 2, 3]),
+        CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]),
+        CategoricalColumn("pred", rng.integers(0, 2, n), [0, 1]),
+    ]
+    return DivergenceExplorer(Table(cols), "class", "pred")
+
+
+class TestMiningCache:
+    def test_exact_hit_returns_same_object(self):
+        ds = make_random_dataset(0)
+        cache = MiningCache()
+        first = cache.mine(ds, 0.1)
+        second = cache.mine(ds, 0.1)
+        assert second is first
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "monotone_hits": 0,
+            "misses": 1,
+        }
+
+    def test_monotone_hit_equals_fresh_run(self):
+        ds = make_random_dataset(1)
+        cache = MiningCache()
+        cache.mine(ds, 0.05)
+        served = cache.mine(ds, 0.2)
+        assert cache.stats.monotone_hits == 1
+        assert cache.stats.misses == 1
+        assert_same_table(served, mine_frequent(ds, 0.2))
+
+    def test_monotone_hit_respects_max_length(self):
+        ds = make_random_dataset(2)
+        cache = MiningCache()
+        cache.mine(ds, 0.05)  # max_length=None covers every cap
+        served = cache.mine(ds, 0.1, max_length=2)
+        assert cache.stats.monotone_hits == 1
+        assert_same_table(served, mine_frequent(ds, 0.1, max_length=2))
+
+    def test_capped_run_does_not_serve_longer_requests(self):
+        ds = make_random_dataset(3)
+        cache = MiningCache()
+        cache.mine(ds, 0.05, max_length=2)
+        served = cache.mine(ds, 0.05, max_length=3)
+        assert cache.stats.misses == 2
+        assert_same_table(served, mine_frequent(ds, 0.05, max_length=3))
+        # and the uncapped request must also re-mine
+        cache.mine(ds, 0.05)
+        assert cache.stats.misses == 3
+
+    def test_lower_support_is_a_miss(self):
+        ds = make_random_dataset(4)
+        cache = MiningCache()
+        cache.mine(ds, 0.2)
+        served = cache.mine(ds, 0.05)
+        assert cache.stats.misses == 2
+        assert_same_table(served, mine_frequent(ds, 0.05))
+
+    def test_different_dataset_is_a_miss(self):
+        cache = MiningCache()
+        cache.mine(make_random_dataset(5), 0.1)
+        cache.mine(make_random_dataset(6), 0.1)
+        assert cache.stats.misses == 2
+
+    def test_different_algorithm_is_a_separate_key(self):
+        ds = make_random_dataset(7)
+        cache = MiningCache()
+        cache.mine(ds, 0.1, algorithm="bitset")
+        cache.mine(ds, 0.1, algorithm="fpgrowth")
+        assert cache.stats.misses == 2
+
+    def test_dominated_entries_are_dropped(self):
+        ds = make_random_dataset(8)
+        cache = MiningCache()
+        cache.mine(ds, 0.3)
+        cache.mine(ds, 0.05)  # dominates the 0.3 run
+        assert len(cache) == 1
+        cache.mine(ds, 0.3)  # now a monotone hit off the 0.05 run
+        assert cache.stats.monotone_hits == 1
+
+    def test_lru_eviction_bounds_size(self):
+        cache = MiningCache(max_entries=3)
+        for seed in range(5):
+            cache.mine(make_random_dataset(seed), 0.1)
+        assert len(cache) == 3
+        # seed 0 was evicted, seed 4 was not
+        cache.mine(make_random_dataset(4), 0.1)
+        assert cache.stats.hits == 1
+        cache.mine(make_random_dataset(0), 0.1)
+        assert cache.stats.misses == 6
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MiningCache(max_entries=0)
+
+
+class TestExplorerWiring:
+    def test_second_explore_runs_miner_once(self, monkeypatch):
+        """ISSUE acceptance: identical explore() calls mine exactly once."""
+        calls = []
+        real = cache_module.mine_frequent
+
+        def counting(*args, **kwargs):
+            calls.append((args, kwargs))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "mine_frequent", counting)
+        explorer = make_explorer()
+        first = explorer.explore("fpr", min_support=0.1)
+        second = explorer.explore("fpr", min_support=0.1)
+        assert len(calls) == 1
+        assert explorer.mining_cache.stats.hits == 1
+        assert set(first.frequent) == set(second.frequent)
+
+    def test_monotone_reuse_across_supports(self, monkeypatch):
+        calls = []
+        real = cache_module.mine_frequent
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "mine_frequent", counting)
+        explorer = make_explorer()
+        explorer.explore("fpr", min_support=0.05)
+        reused = explorer.explore("fpr", min_support=0.2)
+        assert len(calls) == 1
+        fresh = make_explorer().explore("fpr", min_support=0.2, use_cache=False)
+        assert set(reused.frequent) == set(fresh.frequent)
+        for key in fresh.frequent:
+            assert (
+                reused.frequent.counts(key).tolist()
+                == fresh.frequent.counts(key).tolist()
+            )
+
+    def test_different_metric_mines_again(self, monkeypatch):
+        calls = []
+        real = cache_module.mine_frequent
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "mine_frequent", counting)
+        explorer = make_explorer()
+        explorer.explore("fpr", min_support=0.1)
+        explorer.explore("fnr", min_support=0.1)
+        assert len(calls) == 2
+
+    def test_use_cache_false_always_mines(self, monkeypatch):
+        explorer = make_explorer()
+        explorer.explore("fpr", min_support=0.1, use_cache=False)
+        explorer.explore("fpr", min_support=0.1, use_cache=False)
+        stats = explorer.mining_cache.stats.as_dict()
+        assert stats == {"hits": 0, "monotone_hits": 0, "misses": 0}
+
+    def test_cached_results_match_uncached(self):
+        explorer = make_explorer(seed=3)
+        cached = explorer.explore("error", min_support=0.1)
+        fresh = explorer.explore("error", min_support=0.1, use_cache=False)
+        assert set(cached.frequent) == set(fresh.frequent)
+        for key in fresh.frequent:
+            assert (
+                cached.frequent.counts(key).tolist()
+                == fresh.frequent.counts(key).tolist()
+            )
+
+    def test_shared_cache_across_explorers(self, monkeypatch):
+        calls = []
+        real = cache_module.mine_frequent
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "mine_frequent", counting)
+        shared = MiningCache()
+        rng = np.random.default_rng(0)
+        n = 150
+        cols = [
+            CategoricalColumn("a", rng.integers(0, 3, n), [0, 1, 2]),
+            CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]),
+            CategoricalColumn("pred", rng.integers(0, 2, n), [0, 1]),
+        ]
+        table = Table(cols)
+        one = DivergenceExplorer(table, "class", "pred", mining_cache=shared)
+        two = DivergenceExplorer(table, "class", "pred", mining_cache=shared)
+        one.explore("fpr", min_support=0.1)
+        two.explore("fpr", min_support=0.1)
+        assert len(calls) == 1
+        assert shared.stats.hits == 1

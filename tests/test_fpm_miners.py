@@ -13,13 +13,15 @@ from hypothesis import strategies as st
 
 from repro.exceptions import MiningError
 from repro.fpm.apriori import AprioriMiner
+from repro.fpm.bitset import BitsetMiner
 from repro.fpm.bruteforce import BruteForceMiner
+from repro.fpm.eclat import EclatMiner
 from repro.fpm.fpgrowth import FPGrowthMiner
-from repro.fpm.miner import FrequentItemsets, mine_frequent
+from repro.fpm.miner import FrequentItemsets, Miner, mine_frequent
 from repro.fpm.transactions import ItemCatalog, TransactionDataset
 from tests.conftest import make_random_dataset
 
-MINERS = [AprioriMiner, FPGrowthMiner, BruteForceMiner]
+MINERS = [AprioriMiner, FPGrowthMiner, BruteForceMiner, EclatMiner, BitsetMiner]
 
 
 def tiny_dataset() -> TransactionDataset:
@@ -108,6 +110,60 @@ class TestValidation:
         with pytest.raises(MiningError):
             result.counts(frozenset({0, 3}))
         assert result.get(frozenset({0, 3})) is None
+
+
+def counted_dataset() -> TransactionDataset:
+    """10 rows, one attribute: value 0 ×5, value 1 ×3, value 2 ×2.
+
+    The catalog also declares a value 3 that never occurs, to pin the
+    zero-coverage behaviour.
+    """
+    matrix = np.array([[0]] * 5 + [[1]] * 3 + [[2]] * 2)
+    catalog = ItemCatalog(["a"], [[0, 1, 2, 3]])
+    return TransactionDataset(matrix, catalog)
+
+
+class TestSupportThreshold:
+    """Regression: ``min_count = ceil(s * n)`` exactly, clamped to 1.
+
+    ``n_rows=10, min_support=0.25`` must mean "at least 3 rows" — a
+    float-rounded ``int(s * n)`` or a ``floor`` would wrongly admit
+    count-2 patterns.
+    """
+
+    def test_validate_boundaries(self):
+        ds = counted_dataset()
+        assert Miner._validate(ds, 0.25, None) == 3
+        assert Miner._validate(ds, 0.2, None) == 2
+        assert Miner._validate(ds, 0.3, None) == 3
+        assert Miner._validate(ds, 1.0, None) == 10
+        assert Miner._validate(ds, 1e-12, None) == 1  # clamped, never 0
+
+    def test_validate_is_robust_to_float_representation(self):
+        # 0.1 * 3 = 0.30000000000000004; ceil must not bump 3 to 4 when
+        # the product is a hair above an integer for representation
+        # reasons only.
+        matrix = np.array([[0]] * 30)
+        catalog = ItemCatalog(["a"], [[0]])
+        ds = TransactionDataset(matrix, catalog)
+        assert Miner._validate(ds, 0.1, None) == 3
+
+    @pytest.mark.parametrize("miner_cls", MINERS)
+    def test_quarter_support_needs_three_rows(self, miner_cls):
+        result = miner_cls().mine(counted_dataset(), min_support=0.25)
+        assert frozenset({0}) in result  # count 5
+        assert frozenset({1}) in result  # count 3 == threshold
+        assert frozenset({2}) not in result  # count 2 < threshold
+
+    @pytest.mark.parametrize("miner_cls", MINERS)
+    def test_fifth_support_admits_two_rows(self, miner_cls):
+        result = miner_cls().mine(counted_dataset(), min_support=0.2)
+        assert frozenset({2}) in result
+
+    @pytest.mark.parametrize("miner_cls", MINERS)
+    def test_zero_coverage_items_never_emitted(self, miner_cls):
+        result = miner_cls().mine(counted_dataset(), min_support=1e-9)
+        assert frozenset({3}) not in result
 
 
 class TestAgreement:

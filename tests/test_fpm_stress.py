@@ -2,18 +2,22 @@
 
 These are "does the engineering hold up" tests: larger data, skewed
 supports, high-cardinality attributes and deep single-path trees (the
-FP-growth fast path).
+FP-growth fast path). Marked ``slow`` and excluded from the default
+run; the benchmark suite runs them with ``-m ""``.
 """
 
 import numpy as np
 import pytest
 
 from repro.fpm.apriori import AprioriMiner
+from repro.fpm.bitset import BitsetMiner
 from repro.fpm.eclat import EclatMiner
 from repro.fpm.fpgrowth import FPGrowthMiner
 from repro.fpm.transactions import ItemCatalog, TransactionDataset
 
-MINERS = [AprioriMiner, FPGrowthMiner, EclatMiner]
+pytestmark = pytest.mark.slow
+
+MINERS = [AprioriMiner, FPGrowthMiner, EclatMiner, BitsetMiner]
 
 
 class TestScale:
@@ -26,12 +30,13 @@ class TestScale:
         ds = TransactionDataset(matrix, catalog, channels)
         results = {m.name: m().mine(ds, 0.05) for m in MINERS}
         keys = {name: set(r) for name, r in results.items()}
-        assert keys["apriori"] == keys["fpgrowth"] == keys["eclat"]
+        assert keys["apriori"] == keys["fpgrowth"] == keys["eclat"] == keys["bitset"]
         reference = results["fpgrowth"]
         for key in reference:
             expected = reference.counts(key).tolist()
             assert results["apriori"].counts(key).tolist() == expected
             assert results["eclat"].counts(key).tolist() == expected
+            assert results["bitset"].counts(key).tolist() == expected
 
 
 class TestAdversarialShapes:
