@@ -30,12 +30,14 @@ from repro.core.global_divergence import (
     global_item_divergence,
     individual_item_divergence,
 )
+from repro.core.explanations import explain_top_k
 from repro.core.items import Item, Itemset
 from repro.core.lattice import DivergenceLattice
+from repro.core.lattice_index import LatticeIndex
 from repro.core.outcomes import OUTCOME_METRICS, outcome_metric
 from repro.core.pruning import prune_redundant
 from repro.core.result import PatternDivergenceResult, PatternRecord
-from repro.core.shapley import shapley_contributions
+from repro.core.shapley import shapley_batch, shapley_contributions
 from repro.exceptions import ReproError
 from repro.tabular.discretize import BinSpec, discretize_table
 from repro.tabular.io import read_csv, write_csv
@@ -51,6 +53,7 @@ __all__ = [
     "DivergenceLattice",
     "Item",
     "Itemset",
+    "LatticeIndex",
     "PatternShift",
     "OUTCOME_METRICS",
     "PatternDivergenceResult",
@@ -60,6 +63,7 @@ __all__ = [
     "__version__",
     "compare_results",
     "datasets",
+    "explain_top_k",
     "explore_multi",
     "fairness",
     "discretize_table",
@@ -74,6 +78,7 @@ __all__ = [
     "result_from_json",
     "result_to_json",
     "read_csv",
+    "shapley_batch",
     "shapley_contributions",
     "shapley_contributions_sampled",
     "write_csv",

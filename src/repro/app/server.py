@@ -5,6 +5,7 @@ Endpoints (all GET, JSON responses):
 - ``/api/datasets``                      bundled datasets + characteristics
 - ``/api/explore``    params: ``dataset, metric, support, top, epsilon?``
 - ``/api/shapley``    params: ``dataset, metric, support, pattern``
+- ``/api/explain``    params: ``dataset, metric, support, top, epsilon?``
 - ``/api/global``     params: ``dataset, metric, support, top``
 - ``/api/corrective`` params: ``dataset, metric, support, top``
 - ``/api/lattice``    params: ``dataset, metric, support, pattern, threshold?``
@@ -19,11 +20,13 @@ from __future__ import annotations
 import json
 import math
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.corrective import find_corrective_items
 from repro.core.divergence import DivergenceExplorer
+from repro.core.explanations import explain_top_k
 from repro.core.global_divergence import (
     global_item_divergence,
     individual_item_divergence,
@@ -79,16 +82,40 @@ async function run() {
 """
 
 
+class _CachedExploration:
+    """One cached exploration plus its rendered top-k JSON row lists.
+
+    ``renders`` maps ``(top, epsilon)`` to the ready-to-serialize
+    pattern rows of ``/api/explore``, so repeat hits skip record
+    materialization, pruning and formatting entirely.
+    """
+
+    __slots__ = ("result", "renders")
+
+    _MAX_RENDERS = 16
+
+    def __init__(self, result: PatternDivergenceResult) -> None:
+        self.result = result
+        self.renders: OrderedDict[tuple, list[dict]] = OrderedDict()
+
+
 class AppState:
     """Cached explorations keyed by (dataset, metric, support).
 
-    Besides the bundled datasets, uploaded CSVs are registered under
-    ``upload:<name>`` handles and explored exactly like bundled data.
+    The cache is a small LRU (``max_results`` entries): every hit
+    refreshes an entry, and exploring a new configuration past the
+    bound evicts the least-recently-used one — long-running servers
+    fed many uploads/configs stay flat in memory. Besides the bundled
+    datasets, uploaded CSVs are registered under ``upload:<name>``
+    handles and explored exactly like bundled data.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    MAX_RESULTS = 32
+
+    def __init__(self, seed: int = 0, max_results: int = MAX_RESULTS) -> None:
         self.seed = seed
-        self._cache: dict[tuple, PatternDivergenceResult] = {}
+        self.max_results = max(1, max_results)
+        self._cache: OrderedDict[tuple, _CachedExploration] = OrderedDict()
         self._explorers: dict[str, DivergenceExplorer] = {}
         self._lock = threading.Lock()
 
@@ -121,9 +148,9 @@ class AppState:
         with self._lock:
             self._explorers[handle] = explorer
             # invalidate stale results for a re-uploaded handle
-            self._cache = {
-                k: v for k, v in self._cache.items() if k[0] != handle
-            }
+            self._cache = OrderedDict(
+                (k, v) for k, v in self._cache.items() if k[0] != handle
+            )
         return handle
 
     def explorer(self, dataset: str) -> DivergenceExplorer:
@@ -144,19 +171,71 @@ class AppState:
             self._explorers[dataset] = explorer
             return self._explorers[dataset]
 
+    def _entry(
+        self, dataset: str, metric: str, support: float
+    ) -> _CachedExploration:
+        """LRU-cached exploration entry for one configuration."""
+        key = (dataset, metric, support)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                return entry
+        result = self.explorer(dataset).explore(metric, min_support=support)
+        with self._lock:
+            # Another thread may have raced us to the same key; keep the
+            # first entry so its cached renders survive.
+            entry = self._cache.get(key)
+            if entry is None:
+                entry = _CachedExploration(result)
+                self._cache[key] = entry
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.max_results:
+                self._cache.popitem(last=False)
+            return entry
+
     def result(
         self, dataset: str, metric: str, support: float
     ) -> PatternDivergenceResult:
         """Explore (and cache) one configuration."""
-        key = (dataset, metric, support)
+        return self._entry(dataset, metric, support).result
+
+    def explore_rows(
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        top: int,
+        epsilon: float | None = None,
+    ) -> tuple[PatternDivergenceResult, list[dict]]:
+        """Rendered ``/api/explore`` rows, cached per ``(top, epsilon)``."""
+        entry = self._entry(dataset, metric, support)
+        render_key = (top, epsilon)
         with self._lock:
-            cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = self.explorer(dataset).explore(metric, min_support=support)
+            rows = entry.renders.get(render_key)
+            if rows is not None:
+                entry.renders.move_to_end(render_key)
+                return entry.result, rows
+        result = entry.result
+        if epsilon is not None:
+            records = prune_redundant(result, epsilon)[:top]
+        else:
+            records = result.top_k(top)
+        rows = [
+            {
+                "itemset": str(r.itemset),
+                "support": r.support,
+                "divergence": _json_safe(r.divergence),
+                "t": r.t_statistic,
+            }
+            for r in records
+        ]
         with self._lock:
-            self._cache[key] = result
-        return result
+            entry.renders[render_key] = rows
+            entry.renders.move_to_end(render_key)
+            while len(entry.renders) > _CachedExploration._MAX_RENDERS:
+                entry.renders.popitem(last=False)
+        return result, rows
 
 
 def _json_safe(value: float) -> float | None:
@@ -182,6 +261,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(self._explore(params))
             elif parsed.path == "/api/shapley":
                 self._send_json(self._shapley(params))
+            elif parsed.path == "/api/explain":
+                self._send_json(self._explain(params))
             elif parsed.path == "/api/global":
                 self._send_json(self._global(params))
             elif parsed.path == "/api/corrective":
@@ -225,33 +306,54 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, ValueError, UnicodeDecodeError) as exc:
             self._send_json({"error": f"bad request: {exc}"}, 400)
 
-    def _result(self, params: dict[str, str]) -> PatternDivergenceResult:
+    def _config(self, params: dict[str, str]) -> tuple[str, str, float]:
         dataset = params.get("dataset", "compas")
         if dataset not in DATASET_NAMES and not dataset.startswith("upload:"):
             raise ReproError(f"unknown dataset {dataset!r}")
         metric = params.get("metric", "fpr")
         support = float(params.get("support", "0.1"))
-        return self._state.result(dataset, metric, support)
+        return dataset, metric, support
+
+    def _result(self, params: dict[str, str]) -> PatternDivergenceResult:
+        return self._state.result(*self._config(params))
 
     def _explore(self, params: dict[str, str]) -> dict:
-        result = self._result(params)
+        dataset, metric, support = self._config(params)
         top = int(params.get("top", "10"))
-        if "epsilon" in params:
-            records = prune_redundant(result, float(params["epsilon"]))[:top]
-        else:
-            records = result.top_k(top)
+        epsilon = float(params["epsilon"]) if "epsilon" in params else None
+        result, rows = self._state.explore_rows(
+            dataset, metric, support, top, epsilon
+        )
         return {
             "metric": result.metric,
             "global_rate": _json_safe(result.global_rate),
             "n_patterns": len(result) - 1,
+            "patterns": rows,
+        }
+
+    def _explain(self, params: dict[str, str]) -> dict:
+        result = self._result(params)
+        top = int(params.get("top", "5"))
+        epsilon = float(params["epsilon"]) if "epsilon" in params else None
+        table = explain_top_k(result, k=top, epsilon=epsilon)
+        return {
+            "metric": result.metric,
             "patterns": [
                 {
-                    "itemset": str(r.itemset),
-                    "support": r.support,
-                    "divergence": _json_safe(r.divergence),
-                    "t": r.t_statistic,
+                    "itemset": str(entry["itemset"]),
+                    "divergence": _json_safe(entry["divergence"]),
+                    "support": entry["support"],
+                    "t": entry["t_statistic"],
+                    "contributions": [
+                        {"item": str(item), "value": value}
+                        for item, value in sorted(
+                            entry["contributions"].items(),
+                            key=lambda kv: -abs(kv[1]),
+                        )
+                    ],
+                    "description": entry["description"],
                 }
-                for r in records
+                for entry in table
             ],
         }
 
@@ -356,13 +458,19 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def create_server(
-    host: str = "127.0.0.1", port: int = 0, seed: int = 0
+    host: str = "127.0.0.1",
+    port: int = 0,
+    seed: int = 0,
+    max_results: int = AppState.MAX_RESULTS,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the exploration server.
 
     ``port=0`` picks a free port; read it back from
-    ``server.server_address``.
+    ``server.server_address``. ``max_results`` bounds the LRU result
+    cache.
     """
     server = ThreadingHTTPServer((host, port), _Handler)
-    server.app_state = AppState(seed=seed)  # type: ignore[attr-defined]
+    server.app_state = AppState(  # type: ignore[attr-defined]
+        seed=seed, max_results=max_results
+    )
     return server

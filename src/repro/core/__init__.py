@@ -19,14 +19,16 @@ from repro.core.global_divergence import (
     global_item_divergence,
     individual_item_divergence,
 )
+from repro.core.explanations import explain_top_k
 from repro.core.items import Item, Itemset
 from repro.core.lattice import DivergenceLattice
+from repro.core.lattice_index import LatticeIndex
 from repro.core.multi import explore_multi
 from repro.core.outcomes import OUTCOME_METRICS, OutcomeFunction, outcome_metric
-from repro.core.pruning import prune_redundant
+from repro.core.pruning import prune_redundant, redundancy_margins
 from repro.core.result import PatternDivergenceResult, PatternRecord
 from repro.core.serialize import lattice_to_dot, result_from_json, result_to_json
-from repro.core.shapley import shapley_contributions
+from repro.core.shapley import shapley_batch, shapley_contributions
 from repro.core.significance import beta_moments, welch_t_statistic
 
 __all__ = [
@@ -38,11 +40,13 @@ __all__ = [
     "DivergenceLattice",
     "Item",
     "Itemset",
+    "LatticeIndex",
     "OUTCOME_METRICS",
     "OutcomeFunction",
     "PatternDivergenceResult",
     "PatternRecord",
     "beta_moments",
+    "explain_top_k",
     "explore_multi",
     "find_corrective_items",
     "global_divergence_of_itemset",
@@ -51,8 +55,10 @@ __all__ = [
     "lattice_to_dot",
     "outcome_metric",
     "prune_redundant",
+    "redundancy_margins",
     "result_from_json",
     "result_to_json",
+    "shapley_batch",
     "shapley_contributions",
     "welch_t_statistic",
 ]

@@ -86,6 +86,39 @@ def describe_contributions(
     return " ".join(parts)
 
 
+def explain_top_k(
+    result: PatternDivergenceResult,
+    k: int = 5,
+    epsilon: float | None = None,
+) -> list[dict]:
+    """Shapley explanation table for the top-``k`` divergent patterns.
+
+    Each entry pairs a :class:`PatternRecord`'s headline numbers with
+    the exact Shapley contributions of its items and the templated
+    sentence describing them. All ``k`` patterns are resolved with one
+    batched subset lookup (``shapley_batch``), so the table costs one
+    pass over the lattice index rather than ``k`` dict walks. With
+    ``epsilon`` set, the table ranks the ε-pruned patterns instead.
+    """
+    records = (
+        result.pruned(epsilon)[:k] if epsilon is not None else result.top_k(k)
+    )
+    tables = result.shapley_batch([r.itemset for r in records])
+    return [
+        {
+            "itemset": record.itemset,
+            "divergence": record.divergence,
+            "support": record.support,
+            "t_statistic": record.t_statistic,
+            "contributions": contributions,
+            "description": describe_contributions(
+                record.itemset, contributions
+            ),
+        }
+        for record, contributions in zip(records, tables)
+    ]
+
+
 def describe_corrective(corrective: CorrectiveItem, metric: str) -> str:
     """Summarize one corrective-item observation."""
     phrase = metric_phrase(metric)

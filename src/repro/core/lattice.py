@@ -40,13 +40,28 @@ class DivergenceLattice:
         self.result = result
         self.itemset = itemset
         self.graph = nx.DiGraph()
-        for subset in itemset.subsets():
-            sub_key = result.key_of(subset)
-            div = result.divergence_of_key(sub_key)
+        # All 2^n subset rows are resolved against the columnar lattice
+        # index in one batched lookup; bit b of the mask order used by
+        # ``itemset.subsets()`` corresponds to ``itemset.items[b]``.
+        index = result.lattice_index()
+        ids = [
+            result.catalog.item_id(it.attribute, it.value)
+            for it in itemset.items
+        ]
+        rows = index.subset_rows(ids)
+        divergences = result.divergence_vector()
+        counts = result._count_matrix
+        for mask, subset in enumerate(itemset.subsets()):
+            row = int(rows[mask])
+            if row < 0:  # unreachable for complete tables (closure)
+                raise ReproError(
+                    f"pattern ({subset}) is not frequent at support "
+                    f"{result.min_support}"
+                )
             self.graph.add_node(
                 subset,
-                divergence=div,
-                support=result.frequent.support(sub_key),
+                divergence=float(divergences[row]),
+                support=counts[row, 0] / result.frequent.n_rows,
                 corrective=False,
             )
         for subset in itemset.subsets(proper=True):

@@ -1,0 +1,212 @@
+"""Columnar lattice index over a frequent-itemset table.
+
+The analytics of Sec. 3.5/4 — global item divergence (Eq. 8),
+ε-redundancy pruning, corrective items and Shapley contributions — all
+reduce to the same access pattern: for a table row ``K``, visit the rows
+of its immediate (k−1)-subsets ``K \\ {α}``. Done naively that is one
+``frozenset`` allocation and one dict probe per (row, item) pair, i.e.
+O(|F|·k) hash traffic per analysis on tables with hundreds of thousands
+of patterns.
+
+:class:`LatticeIndex` pays that cost once, columnar-style: every frequent
+itemset becomes a row of packed numpy arrays (CSR item lists, lengths,
+precomputed Eq. 8 weights) and the parent relation becomes one int array
+``parent_rows`` aligned with the flattened item lists. The index is built
+in a single vectorized pass: keys are padded into a fixed-width id-sorted
+matrix, viewed as raw bytes, sorted once, and every candidate parent is
+resolved with one batched ``searchsorted`` — no per-key hashing at all.
+Downstream, each analysis is a handful of gathers/scatters over these
+arrays (see ``global_divergence``, ``pruning``, ``corrective``,
+``shapley``).
+
+The index is immutable, lazily built, and cached on
+:class:`~repro.core.result.PatternDivergenceResult` (results never
+change, so it is never invalidated).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from math import factorial
+
+import numpy as np
+
+from repro.fpm.transactions import ItemCatalog
+
+# Sentinel used while sorting padded rows: real entries are ``id + 1``
+# (> 0) and padding is 0, so anything above every real id works.
+_PAD_SENTINEL = np.uint32(0xFFFFFFFF)
+
+
+def _void_view(padded: np.ndarray) -> np.ndarray:
+    """View a ``(M, L) uint32`` row matrix as M opaque fixed-size blobs.
+
+    Void scalars compare bytewise, which gives a total order consistent
+    between ``argsort`` and ``searchsorted`` — exactly what exact-match
+    row lookup needs.
+    """
+    a = np.ascontiguousarray(padded)
+    return a.view(np.dtype((np.void, a.shape[1] * a.dtype.itemsize))).ravel()
+
+
+class LatticeIndex:
+    """Packed subset-lattice adjacency of one frequent-itemset table.
+
+    Attributes (all read-only numpy arrays; ``N`` rows, ``nnz`` total
+    items across rows, ``L`` the padded key width):
+
+    - ``lengths``: ``(N,)`` itemset length per row.
+    - ``items_ptr``: ``(N+1,)`` CSR offsets into the flat item arrays.
+    - ``items_flat``: ``(nnz,)`` item ids, ascending within each row.
+    - ``row_of_entry``: ``(nnz,)`` owning row of each flat entry.
+    - ``parent_rows``: ``(nnz,)`` row index of ``K \\ {α}`` for the flat
+      entry ``(K, α)``; ``-1`` when that subset is not in the table.
+    - ``weights``: ``(N,)`` Eq. 8 weight ``w(K)`` — the term every
+      ``α ∈ K`` contributes to global item divergence is
+      ``w(K)·[Δ(K) − Δ(K \\ α)]``. Zero for the empty row.
+    """
+
+    def __init__(self, keys: Sequence[frozenset[int]], catalog: ItemCatalog) -> None:
+        n = len(keys)
+        self.n_table_rows = n
+        self.lengths = np.fromiter(
+            (len(k) for k in keys), dtype=np.int64, count=n
+        )
+        self.items_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.lengths, out=self.items_ptr[1:])
+        nnz = int(self.items_ptr[-1])
+        flat = np.fromiter(
+            (i for key in keys for i in key), dtype=np.int64, count=nnz
+        )
+        self.row_of_entry = np.repeat(np.arange(n, dtype=np.int64), self.lengths)
+        # Sort item ids within each row (frozenset iteration order is
+        # arbitrary); rows stay contiguous because the row is the
+        # primary key.
+        order = np.lexsort((flat, self.row_of_entry))
+        self.items_flat = flat[order]
+
+        # Fixed-width padded key matrix: entries are id + 1, ascending,
+        # zero-padded on the right, so each row has one canonical byte
+        # representation.
+        self.width = max(1, int(self.lengths.max(initial=0)))
+        padded = np.zeros((n, self.width), dtype=np.uint32)
+        pos_in_row = np.arange(nnz, dtype=np.int64) - self.items_ptr[
+            self.row_of_entry
+        ]
+        padded[self.row_of_entry, pos_in_row] = self.items_flat.astype(
+            np.uint32
+        ) + 1
+        self._padded = padded
+        blobs = _void_view(padded)
+        self._blob_order = np.argsort(blobs)
+        self._blobs_sorted = blobs[self._blob_order]
+
+        self.parent_rows = self._resolve_parents(padded)
+        self.weights = self._eq8_weights(catalog)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _resolve_parents(self, padded: np.ndarray) -> np.ndarray:
+        """Row index of every immediate subset, one searchsorted batch
+        per (length, deleted position) group."""
+        parent_rows = np.full(int(self.items_ptr[-1]), -1, dtype=np.int64)
+        width = self.width
+        for k in range(1, width + 1):
+            rows_k = np.nonzero(self.lengths == k)[0]
+            if rows_k.size == 0:
+                continue
+            sub = padded[rows_k]
+            zero_col = np.zeros((rows_k.size, 1), dtype=np.uint32)
+            for j in range(k):
+                candidate = np.concatenate(
+                    [sub[:, :j], sub[:, j + 1 :], zero_col], axis=1
+                )
+                parent_rows[self.items_ptr[rows_k] + j] = self.rows_of_padded(
+                    candidate
+                )
+        return parent_rows
+
+    def _eq8_weights(self, catalog: ItemCatalog) -> np.ndarray:
+        """``w(K) = (k−1)! (|A|−k)! / (|A|! · Π_{a∈attr(K)} m_a)``.
+
+        Items of one itemset cover distinct attributes, so ``k ≤ |A|``
+        always; the empty row gets weight 0 (it has no items to credit).
+        """
+        n_attrs = len(catalog.attributes)
+        fact = [float(factorial(i)) for i in range(n_attrs + 1)]
+        n_fact = fact[n_attrs]
+        numer = np.zeros(self.width + 1, dtype=np.float64)
+        for k in range(1, min(self.width, n_attrs) + 1):
+            numer[k] = fact[k - 1] * fact[n_attrs - k]
+        # Item ids are grouped by attribute, so the domain size of every
+        # item's attribute is one repeat away.
+        cards = np.asarray(catalog.cardinalities, dtype=np.int64)
+        card_of_item = np.repeat(cards, cards).astype(np.float64)
+        # Trailing sentinel so reduceat never reads past the end for a
+        # zero-length final segment.
+        card_flat = np.concatenate([card_of_item[self.items_flat], [1.0]])
+        prod_m = np.multiply.reduceat(card_flat, self.items_ptr[:-1])
+        weights = np.zeros(self.n_table_rows, dtype=np.float64)
+        valid = (self.lengths > 0) & (self.lengths <= n_attrs)
+        weights[valid] = numer[self.lengths[valid]] / (
+            n_fact * prod_m[valid]
+        )
+        return weights
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def rows_of_padded(self, padded: np.ndarray) -> np.ndarray:
+        """Table rows of padded query keys (``-1`` where absent).
+
+        Queries must use the canonical padding: entries ``id + 1``
+        ascending, zeros on the right, width :attr:`width`.
+        """
+        queries = _void_view(padded.astype(np.uint32, copy=False))
+        pos = np.searchsorted(self._blobs_sorted, queries)
+        pos_c = np.minimum(pos, len(self._blobs_sorted) - 1)
+        hit = self._blobs_sorted[pos_c] == queries
+        return np.where(hit, self._blob_order[pos_c], -1)
+
+    def pad_keys(self, id_rows: np.ndarray) -> np.ndarray:
+        """Canonicalize a ``(M, n)`` matrix of ``id + 1`` entries (zeros
+        marking gaps, any order) into padded query rows."""
+        m, n = id_rows.shape
+        # Sorting with zeros mapped to a sentinel pushes the padding to
+        # the right while keeping real ids ascending.
+        work = np.where(id_rows == 0, _PAD_SENTINEL, id_rows.astype(np.uint32))
+        work.sort(axis=1)
+        work[work == _PAD_SENTINEL] = 0
+        if n <= self.width:
+            out = np.zeros((m, self.width), dtype=np.uint32)
+            out[:, :n] = work
+            return out
+        # Keys wider than anything in the table cannot match; replace
+        # them with an all-sentinel canary row so the lookup misses.
+        out = work[:, : self.width].copy()
+        out[work[:, self.width :].any(axis=1)] = _PAD_SENTINEL
+        return out
+
+    def subset_rows(self, item_ids: Sequence[int]) -> np.ndarray:
+        """Table row of every subset of ``item_ids``, in bitmask order.
+
+        Entry ``m`` is the row of ``{item_ids[b] : bit b set in m}``
+        (``-1`` when that subset is not frequent). This is the shared
+        resolution step behind batched Shapley and the lattice view:
+        one lookup resolves all ``2^n`` subsets.
+        """
+        ids = np.asarray(item_ids, dtype=np.uint32) + 1
+        n = ids.size
+        masks = np.arange(1 << n, dtype=np.int64)
+        bits = (masks[:, None] >> np.arange(n, dtype=np.int64)) & 1
+        vals = np.where(bits.astype(bool), ids[None, :], np.uint32(0))
+        return self.rows_of_padded(self.pad_keys(vals))
+
+    def __repr__(self) -> str:
+        return (
+            f"LatticeIndex(rows={self.n_table_rows}, "
+            f"nnz={len(self.items_flat)}, width={self.width})"
+        )

@@ -92,6 +92,15 @@ class PatternDivergenceResult:
             zip(self._keys, divergences.tolist())
         )
         self._records: list[PatternRecord] | None = None
+        self._records_nonempty: list[PatternRecord] | None = None
+        # Columnar caches for the vectorized analytics: the structural
+        # lattice index and the per-row divergence vector. The vector is
+        # tagged with the mapping it was derived from so a swapped-out
+        # divergence map (model comparison tooling, tests) is honored.
+        self._lattice_index = None
+        self._div_vector: np.ndarray | None = divergences
+        self._div_vector_source: object = self._divergence
+        self._t_stats: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # itemset translation
@@ -172,24 +181,98 @@ class PatternDivergenceResult:
         return dict(self._divergence)
 
     # ------------------------------------------------------------------
+    # columnar access (the vectorized analytics engine)
+    # ------------------------------------------------------------------
+
+    def lattice_index(self) -> "LatticeIndex":
+        """The columnar lattice index of this table (built once, cached).
+
+        Results are immutable, so the index is never invalidated; every
+        vectorized analysis — global divergence, pruning, corrective
+        search, batched Shapley — shares this one structure.
+        """
+        if self._lattice_index is None:
+            from repro.core.lattice_index import LatticeIndex
+
+            self._lattice_index = LatticeIndex(self._keys, self.catalog)
+        return self._lattice_index
+
+    def divergence_vector(self, zero_nan: bool = False) -> np.ndarray:
+        """``Δ_f`` per table row, aligned with :meth:`lattice_index` rows.
+
+        With ``zero_nan`` undefined (all-BOTTOM) divergences become 0,
+        mirroring :meth:`divergence_or_zero`. The vector tracks
+        :attr:`divergence_map`, so results whose map was substituted
+        stay consistent.
+        """
+        if self._div_vector is None or self._div_vector_source is not self._divergence:
+            nan = float("nan")
+            self._div_vector = np.fromiter(
+                (self._divergence.get(key, nan) for key in self._keys),
+                dtype=np.float64,
+                count=len(self._keys),
+            )
+            self._div_vector_source = self._divergence
+        if zero_nan:
+            return np.nan_to_num(self._div_vector, nan=0.0)
+        return self._div_vector
+
+    def row_of_key(self, key: frozenset[int]) -> int:
+        """Table row index of an internal key (``-1`` when not frequent)."""
+        index = self.lattice_index()
+        ids = np.asarray(sorted(key), dtype=np.uint32) + 1
+        return int(index.rows_of_padded(index.pad_keys(ids[None, :]))[0])
+
+    # ------------------------------------------------------------------
     # the ranked pattern table
     # ------------------------------------------------------------------
+
+    def t_statistics_vector(self) -> np.ndarray:
+        """Welch t-statistic per table row (computed once, cached)."""
+        if self._t_stats is None:
+            counts = self._count_matrix
+            self._t_stats = divergence_t_statistics(
+                counts[:, 1], counts[:, 2], self.t_total, self.f_total
+            )
+        return self._t_stats
+
+    def _record_for_row(self, row: int) -> PatternRecord:
+        """Materialize one row's record from the columnar statistics."""
+        counts = self._count_matrix
+        return PatternRecord(
+            itemset=self.itemset_of(self._keys[row]),
+            support=counts[row, 0] / self.n_rows,
+            support_count=int(counts[row, 0]),
+            t_count=int(counts[row, 1]),
+            f_count=int(counts[row, 2]),
+            rate=self._rates[row],
+            divergence=self._rates[row] - self.global_rate,
+            t_statistic=self.t_statistics_vector()[row],
+        )
+
+    def records_for_rows(self, rows: Iterable[int]) -> list[PatternRecord]:
+        """Records of specific table rows, reusing the full cache when
+        it exists and materializing only the requested rows otherwise."""
+        if self._records is not None:
+            return [self._records[row] for row in rows]
+        return [self._record_for_row(int(row)) for row in rows]
 
     def records(self, include_empty: bool = False) -> list[PatternRecord]:
         """All frequent patterns as records (cached).
 
         The numeric columns (support, rate, divergence, t-statistic) are
         computed for the whole table in single vectorized expressions;
-        only the readable itemset decoding remains per-row.
+        only the readable itemset decoding remains per-row. Both views
+        (with and without the empty pattern) are materialized once, so
+        repeated ``top_k`` / ``significant`` / ``pruned`` calls do not
+        rebuild N dataclass rows each time.
         """
         if self._records is None:
             counts = self._count_matrix
             n_col, t_col, f_col = counts[:, 0], counts[:, 1], counts[:, 2]
             supports = n_col / self.n_rows
             divergences = self._rates - self.global_rate
-            t_stats = divergence_t_statistics(
-                t_col, f_col, self.t_total, self.f_total
-            )
+            t_stats = self.t_statistics_vector()
             self._records = [
                 PatternRecord(
                     itemset=self.itemset_of(key),
@@ -203,9 +286,12 @@ class PatternDivergenceResult:
                 )
                 for i, key in enumerate(self._keys)
             ]
+            self._records_nonempty = [
+                r for r in self._records if len(r.itemset) > 0
+            ]
         if include_empty:
             return list(self._records)
-        return [r for r in self._records if len(r.itemset) > 0]
+        return list(self._records_nonempty)
 
     def top_k(
         self,
@@ -258,6 +344,14 @@ class PatternDivergenceResult:
         from repro.core.shapley import shapley_contributions
 
         return shapley_contributions(self, itemset)
+
+    def shapley_batch(
+        self, itemsets: Sequence[Itemset]
+    ) -> list[dict[Item, float]]:
+        """Exact Shapley contributions of many patterns in one batch."""
+        from repro.core.shapley import shapley_batch
+
+        return shapley_batch(self, itemsets)
 
     def global_item_divergence(self) -> dict[Item, float]:
         """Global divergence of every frequent item (Def. 4.3, Eq. 8)."""

@@ -7,7 +7,7 @@ from urllib.error import HTTPError
 
 import pytest
 
-from repro.app.server import create_server
+from repro.app.server import AppState, create_server
 
 
 @pytest.fixture(scope="module")
@@ -138,6 +138,34 @@ class TestErrors:
         assert err.value.code == 400
 
 
+class TestExplain:
+    def test_explain_top_k(self, server_url):
+        data = get_json(
+            server_url
+            + "/api/explain?dataset=compas&metric=fpr&support=0.1&top=3"
+        )
+        assert data["metric"] == "fpr"
+        assert len(data["patterns"]) == 3
+        for entry in data["patterns"]:
+            # exact Shapley: contributions sum to the pattern divergence
+            total = sum(c["value"] for c in entry["contributions"])
+            assert total == pytest.approx(entry["divergence"], abs=1e-9)
+            assert entry["description"]
+
+    def test_explain_matches_explore_ranking(self, server_url):
+        explore = get_json(
+            server_url
+            + "/api/explore?dataset=compas&metric=fpr&support=0.1&top=3"
+        )
+        explain = get_json(
+            server_url
+            + "/api/explain?dataset=compas&metric=fpr&support=0.1&top=3"
+        )
+        assert [p["itemset"] for p in explain["patterns"]] == [
+            p["itemset"] for p in explore["patterns"]
+        ]
+
+
 class TestCaching:
     def test_repeat_queries_share_state(self, server_url):
         a = get_json(
@@ -147,6 +175,35 @@ class TestCaching:
             server_url + "/api/explore?dataset=compas&metric=fpr&support=0.1"
         )
         assert a == b
+
+    def test_result_cache_is_lru_bounded(self):
+        state = AppState(seed=0, max_results=2)
+        r1 = state.result("compas", "fpr", 0.2)
+        state.result("compas", "fnr", 0.2)
+        # touching the first entry makes it most-recently-used
+        assert state.result("compas", "fpr", 0.2) is r1
+        state.result("compas", "error", 0.2)  # evicts the fnr entry
+        assert len(state._cache) == 2
+        assert ("compas", "fnr", 0.2) not in state._cache
+        assert state.result("compas", "fpr", 0.2) is r1
+
+    def test_explore_rows_render_cache(self):
+        state = AppState(seed=0, max_results=4)
+        result, rows = state.explore_rows("compas", "fpr", 0.2, 5)
+        result2, rows2 = state.explore_rows("compas", "fpr", 0.2, 5)
+        assert result2 is result
+        assert rows2 is rows  # rendered rows reused, not rebuilt
+        _, pruned = state.explore_rows("compas", "fpr", 0.2, 5, epsilon=0.05)
+        assert pruned is not rows  # distinct (top, epsilon) render
+        assert len(pruned) <= len(rows)
+
+    def test_render_cache_dropped_with_entry(self):
+        state = AppState(seed=0, max_results=1)
+        _, rows = state.explore_rows("compas", "fpr", 0.2, 5)
+        state.result("compas", "fnr", 0.2)  # evicts the fpr entry
+        _, rows2 = state.explore_rows("compas", "fpr", 0.2, 5)
+        assert rows2 == rows  # re-rendered, same content
+        assert rows2 is not rows
 
 
 class TestUpload:

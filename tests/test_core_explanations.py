@@ -9,6 +9,7 @@ from repro.core.explanations import (
     describe_corrective,
     describe_pattern,
     describe_shift,
+    explain_top_k,
     metric_phrase,
     summarize_result,
 )
@@ -101,6 +102,27 @@ class TestOtherTemplates:
         text = describe_shift(shift, "error")
         assert "worse" in text
         assert "+0.020 to +0.150" in text
+
+
+class TestExplainTopK:
+    def test_matches_top_k_and_shapley(self, compas_result):
+        table = explain_top_k(compas_result, k=3)
+        records = compas_result.top_k(3)
+        assert [e["itemset"] for e in table] == [r.itemset for r in records]
+        for entry, record in zip(table, records):
+            assert entry["divergence"] == record.divergence
+            # exact Shapley: contributions sum to the divergence
+            assert sum(entry["contributions"].values()) == pytest.approx(
+                record.divergence, abs=1e-9
+            )
+            assert entry["description"] == describe_contributions(
+                entry["itemset"], entry["contributions"]
+            )
+
+    def test_pruned_variant(self, compas_result):
+        table = explain_top_k(compas_result, k=3, epsilon=0.05)
+        pruned = compas_result.pruned(0.05)[:3]
+        assert [e["itemset"] for e in table] == [r.itemset for r in pruned]
 
 
 class TestSummary:

@@ -1,0 +1,145 @@
+"""Unit tests for the columnar lattice index (structure and lookups)."""
+
+from math import factorial
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import DivergenceExplorer
+from repro.core.lattice_index import LatticeIndex
+from repro.fpm.transactions import ItemCatalog
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+
+def small_result(seed=0, support=0.05, n=120, cards=(2, 3, 2)):
+    rng = np.random.default_rng(seed)
+    cols = [
+        CategoricalColumn(f"a{j}", rng.integers(0, m, n), list(range(m)))
+        for j, m in enumerate(cards)
+    ]
+    cols.append(CategoricalColumn("class", rng.integers(0, 2, n), [0, 1]))
+    cols.append(CategoricalColumn("pred", rng.integers(0, 2, n), [0, 1]))
+    explorer = DivergenceExplorer(Table(cols), "class", "pred")
+    return explorer.explore("fpr", min_support=support)
+
+
+class TestStructure:
+    def test_cached_on_result(self):
+        result = small_result()
+        assert result.lattice_index() is result.lattice_index()
+
+    def test_csr_layout_matches_keys(self):
+        result = small_result()
+        index = result.lattice_index()
+        keys = result._keys
+        assert index.n_table_rows == len(keys)
+        for row, key in enumerate(keys):
+            lo, hi = int(index.items_ptr[row]), int(index.items_ptr[row + 1])
+            ids = index.items_flat[lo:hi]
+            assert index.lengths[row] == len(key)
+            assert sorted(key) == list(ids)  # ascending within the row
+            assert all(index.row_of_entry[lo:hi] == row)
+
+    def test_parent_rows_match_dict_lookup(self):
+        result = small_result()
+        index = result.lattice_index()
+        keys = result._keys
+        row_of_key = {key: row for row, key in enumerate(keys)}
+        for t in range(len(index.items_flat)):
+            row = int(index.row_of_entry[t])
+            alpha = int(index.items_flat[t])
+            parent_key = keys[row] - {alpha}
+            expected = row_of_key.get(parent_key, -1)
+            assert index.parent_rows[t] == expected
+
+    def test_eq8_weights_match_formula(self):
+        result = small_result()
+        index = result.lattice_index()
+        catalog = result.catalog
+        n_attrs = len(catalog.attributes)
+        for row, key in enumerate(result._keys):
+            k = len(key)
+            if k == 0:
+                assert index.weights[row] == 0.0
+                continue
+            prod_m = 1
+            for item_id in key:
+                prod_m *= catalog.cardinalities[catalog.column_of(item_id)]
+            expected = (
+                factorial(k - 1)
+                * factorial(n_attrs - k)
+                / (factorial(n_attrs) * prod_m)
+            )
+            assert index.weights[row] == pytest.approx(expected, rel=1e-12)
+
+
+class TestLookups:
+    def test_rows_of_padded_roundtrip(self):
+        result = small_result()
+        index = result.lattice_index()
+        rows = index.rows_of_padded(index._padded)
+        assert list(rows) == list(range(index.n_table_rows))
+
+    def test_missing_key_is_minus_one(self):
+        result = small_result()
+        index = result.lattice_index()
+        absent = np.full((1, index.width), 0xFFFFFFF0, dtype=np.uint32)
+        assert index.rows_of_padded(absent)[0] == -1
+
+    def test_pad_keys_canonicalizes_order_and_gaps(self):
+        result = small_result()
+        index = result.lattice_index()
+        # Pick a 2-item frequent key and query it with ids reversed and
+        # a gap in the middle.
+        key = next(k for k in result._keys if len(k) == 2)
+        hi_id, lo_id = sorted(key, reverse=True)
+        raw = np.array([[hi_id + 1, 0, lo_id + 1]], dtype=np.uint32)
+        padded = index.pad_keys(raw)
+        row = index.rows_of_padded(padded)[0]
+        assert result._keys[int(row)] == key
+
+    def test_pad_keys_overwide_never_matches(self):
+        result = small_result()
+        index = result.lattice_index()
+        wide = np.arange(
+            1, index.width + 2, dtype=np.uint32
+        ).reshape(1, -1)
+        padded = index.pad_keys(wide)
+        assert padded.shape == (1, index.width)
+        assert index.rows_of_padded(padded)[0] == -1
+
+    def test_subset_rows_bitmask_order(self):
+        result = small_result()
+        index = result.lattice_index()
+        key = max(result._keys, key=len)
+        ids = sorted(key)
+        rows = index.subset_rows(ids)
+        assert rows.size == 1 << len(ids)
+        for mask in range(rows.size):
+            subset = frozenset(
+                ids[b] for b in range(len(ids)) if mask >> b & 1
+            )
+            row = int(rows[mask])
+            # Downward closure: every subset of a frequent key is present.
+            assert row >= 0
+            assert result._keys[row] == subset
+
+
+class TestEdgeCases:
+    def test_empty_table_only_empty_key(self):
+        catalog = ItemCatalog(["a0"], [[0, 1]])
+        index = LatticeIndex([frozenset()], catalog)
+        assert index.n_table_rows == 1
+        assert index.width == 1  # padded width never collapses to 0
+        assert index.weights[0] == 0.0
+        assert index.parent_rows.size == 0
+        assert index.subset_rows([])[0] == 0
+
+    def test_singleton_rows_parent_is_empty_key(self):
+        catalog = ItemCatalog(["a0", "a1"], [[0, 1], [0, 1]])
+        keys = [frozenset(), frozenset({0}), frozenset({2})]
+        index = LatticeIndex(keys, catalog)
+        assert list(index.parent_rows) == [0, 0]
+        # w({α}) = 0!·1!/(2!·2) for binary attributes
+        assert index.weights[1] == pytest.approx(1.0 / 4.0)
