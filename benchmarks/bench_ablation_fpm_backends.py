@@ -18,6 +18,7 @@ import pytest
 
 from repro.experiments.runner import time_call
 from repro.experiments.tables import format_table
+from repro.obs import get_registry, span_rows
 
 SUPPORTS = [0.2, 0.1, 0.05]  # all on the fig6 support grid
 ALGORITHMS = ("bitset", "fpgrowth", "apriori", "eclat")
@@ -25,6 +26,9 @@ JSON_PATH = Path(__file__).parent.parent / "BENCH_fpm_backends.json"
 
 
 def test_ablation_fpm_backends(benchmark, compas_explorer, report):
+    # Clean registry so the attached span breakdown covers this bench
+    # only (per-backend mining spans recorded by mine_frequent).
+    get_registry().reset()
     rows = []
     timings = {}
     for support in SUPPORTS:
@@ -80,6 +84,7 @@ def test_ablation_fpm_backends(benchmark, compas_explorer, report):
             for algorithm in ALGORITHMS
         ],
         "bitset_speedup_vs_eclat": {str(s): v for s, v in speedups.items()},
+        "span_breakdown": span_rows(),
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -29,6 +29,7 @@ from repro.core.global_divergence import (
 )
 from repro.core.pruning import prune_redundant, prune_redundant_reference
 from repro.experiments.tables import format_table
+from repro.obs import get_registry, span_rows
 
 SUPPORTS = [0.1, 0.05, 0.01]
 EPSILON = 0.05
@@ -42,6 +43,9 @@ def _best_seconds(fn, number: int = 10, repeat: int = 5) -> float:
 
 
 def test_ablation_lattice_analytics(benchmark, compas_explorer, report):
+    # Clean registry so the attached span breakdown (index builds plus
+    # per-kernel timings) is attributable to this bench alone.
+    get_registry().reset()
     rows = []
     points = []
     speedups = {}
@@ -131,6 +135,7 @@ def test_ablation_lattice_analytics(benchmark, compas_explorer, report):
         "vectorized_speedup_vs_reference": {
             str(s): v for s, v in speedups.items()
         },
+        "span_breakdown": span_rows(),
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -9,10 +9,16 @@ Endpoints (all GET, JSON responses):
 - ``/api/global``     params: ``dataset, metric, support, top``
 - ``/api/corrective`` params: ``dataset, metric, support, top``
 - ``/api/lattice``    params: ``dataset, metric, support, pattern, threshold?``
+- ``/api/metrics``    process metrics: cache counters, span timings,
+  per-endpoint request counts/status/latency percentiles
 - ``/``               minimal HTML page that calls the API
 
-Errors return ``{"error": ...}`` with status 400/404. The server is a
-stock ``ThreadingHTTPServer``; run it with ``python -m repro.app``.
+Errors return ``{"error": ...}`` with status 400/404. Every payload is
+sanitized before serialization: non-finite floats (``inf``/``nan``)
+become ``null``, so responses are always strictly valid JSON
+(``JSON.parse``-safe — ``json.dumps`` would otherwise emit bare
+``Infinity``/``NaN`` tokens). The server is a stock
+``ThreadingHTTPServer``; run it with ``python -m repro.app``.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -36,6 +43,8 @@ from repro.core.pruning import prune_redundant
 from repro.core.result import PatternDivergenceResult
 from repro.datasets import DATASET_NAMES, dataset_characteristics, load
 from repro.exceptions import ReproError
+from repro.obs import get_registry
+from repro.params import validate_epsilon, validate_support
 
 _INDEX_HTML = """<!doctype html>
 <html><head><title>DivExplorer</title>
@@ -176,11 +185,14 @@ class AppState:
     ) -> _CachedExploration:
         """LRU-cached exploration entry for one configuration."""
         key = (dataset, metric, support)
+        registry = get_registry()
         with self._lock:
             entry = self._cache.get(key)
             if entry is not None:
                 self._cache.move_to_end(key)
+                registry.counter("app_cache.hits").inc()
                 return entry
+        registry.counter("app_cache.misses").inc()
         result = self.explorer(dataset).explore(metric, min_support=support)
         with self._lock:
             # Another thread may have raced us to the same key; keep the
@@ -192,6 +204,8 @@ class AppState:
             self._cache.move_to_end(key)
             while len(self._cache) > self.max_results:
                 self._cache.popitem(last=False)
+                registry.counter("app_cache.evictions").inc()
+            registry.gauge("app_cache.entries").set(len(self._cache))
             return entry
 
     def result(
@@ -211,11 +225,14 @@ class AppState:
         """Rendered ``/api/explore`` rows, cached per ``(top, epsilon)``."""
         entry = self._entry(dataset, metric, support)
         render_key = (top, epsilon)
+        registry = get_registry()
         with self._lock:
             rows = entry.renders.get(render_key)
             if rows is not None:
                 entry.renders.move_to_end(render_key)
+                registry.counter("app_cache.render_hits").inc()
                 return entry.result, rows
+        registry.counter("app_cache.render_misses").inc()
         result = entry.result
         if epsilon is not None:
             records = prune_redundant(result, epsilon)[:top]
@@ -224,9 +241,9 @@ class AppState:
         rows = [
             {
                 "itemset": str(r.itemset),
-                "support": r.support,
+                "support": _json_safe(r.support),
                 "divergence": _json_safe(r.divergence),
-                "t": r.t_statistic,
+                "t": _json_safe(r.t_statistic),
             }
             for r in records
         ]
@@ -239,7 +256,33 @@ class AppState:
 
 
 def _json_safe(value: float) -> float | None:
-    return None if isinstance(value, float) and math.isnan(value) else value
+    """``None`` for non-finite floats, the value otherwise.
+
+    ``json.dumps`` serializes ``inf``/``nan`` as bare ``Infinity``/
+    ``NaN`` tokens, which are invalid JSON and break ``JSON.parse``
+    (the Welch t-statistic is ``inf`` whenever both variances vanish).
+    """
+    return (
+        None
+        if isinstance(value, float) and not math.isfinite(value)
+        else value
+    )
+
+
+def _sanitize(payload):
+    """Recursively replace non-finite floats with ``None``.
+
+    Applied to every outgoing payload as the final guarantee that
+    responses are strictly valid JSON, whatever endpoint (or future
+    field) produced them.
+    """
+    if isinstance(payload, float):
+        return payload if math.isfinite(payload) else None
+    if isinstance(payload, dict):
+        return {k: _sanitize(v) for k, v in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [_sanitize(v) for v in payload]
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -249,9 +292,42 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
 
+    # Endpoint names whitelisted for per-endpoint metrics; anything
+    # else aggregates under "other" so unknown paths cannot grow the
+    # registry without bound.
+    _KNOWN_PATHS = frozenset(
+        {
+            "/",
+            "/api/datasets",
+            "/api/explore",
+            "/api/shapley",
+            "/api/explain",
+            "/api/global",
+            "/api/corrective",
+            "/api/lattice",
+            "/api/metrics",
+            "/api/upload",
+        }
+    )
+
+    def _start_request(self, path: str) -> None:
+        self._obs_path = path if path in self._KNOWN_PATHS else "other"
+        self._obs_start = time.perf_counter()
+
+    def _record_request(self, status: int) -> None:
+        path = getattr(self, "_obs_path", None)
+        if path is None:
+            return
+        elapsed = time.perf_counter() - self._obs_start
+        registry = get_registry()
+        registry.counter(f"http.{path}.requests").inc()
+        registry.counter(f"http.{path}.status.{status}").inc()
+        registry.histogram(f"http.{path}.seconds").observe(elapsed)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        self._start_request(parsed.path)
         try:
             if parsed.path == "/":
                 self._send_html(_INDEX_HTML)
@@ -269,6 +345,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(self._corrective(params))
             elif parsed.path == "/api/lattice":
                 self._send_json(self._lattice(params))
+            elif parsed.path == "/api/metrics":
+                self._send_json(self._metrics())
             else:
                 self._send_json({"error": f"unknown path {parsed.path}"}, 404)
         except ReproError as exc:
@@ -285,6 +363,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        self._start_request(parsed.path)
         try:
             if parsed.path == "/api/upload":
                 length = int(self.headers.get("Content-Length", "0"))
@@ -311,8 +390,14 @@ class _Handler(BaseHTTPRequestHandler):
         if dataset not in DATASET_NAMES and not dataset.startswith("upload:"):
             raise ReproError(f"unknown dataset {dataset!r}")
         metric = params.get("metric", "fpr")
-        support = float(params.get("support", "0.1"))
+        # Reject 0, negative, > 1 and NaN supports here with a clear
+        # 400 instead of an opaque numpy error deep inside the miners.
+        support = validate_support(params.get("support", "0.1"))
         return dataset, metric, support
+
+    @staticmethod
+    def _epsilon(params: dict[str, str]) -> float | None:
+        return validate_epsilon(params.get("epsilon"))
 
     def _result(self, params: dict[str, str]) -> PatternDivergenceResult:
         return self._state.result(*self._config(params))
@@ -320,7 +405,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _explore(self, params: dict[str, str]) -> dict:
         dataset, metric, support = self._config(params)
         top = int(params.get("top", "10"))
-        epsilon = float(params["epsilon"]) if "epsilon" in params else None
+        epsilon = self._epsilon(params)
         result, rows = self._state.explore_rows(
             dataset, metric, support, top, epsilon
         )
@@ -334,7 +419,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _explain(self, params: dict[str, str]) -> dict:
         result = self._result(params)
         top = int(params.get("top", "5"))
-        epsilon = float(params["epsilon"]) if "epsilon" in params else None
+        epsilon = self._epsilon(params)
         table = explain_top_k(result, k=top, epsilon=epsilon)
         return {
             "metric": result.metric,
@@ -342,10 +427,10 @@ class _Handler(BaseHTTPRequestHandler):
                 {
                     "itemset": str(entry["itemset"]),
                     "divergence": _json_safe(entry["divergence"]),
-                    "support": entry["support"],
-                    "t": entry["t_statistic"],
+                    "support": _json_safe(entry["support"]),
+                    "t": _json_safe(entry["t_statistic"]),
                     "contributions": [
-                        {"item": str(item), "value": value}
+                        {"item": str(item), "value": _json_safe(value)}
                         for item, value in sorted(
                             entry["contributions"].items(),
                             key=lambda kv: -abs(kv[1]),
@@ -365,7 +450,7 @@ class _Handler(BaseHTTPRequestHandler):
             "pattern": str(pattern),
             "divergence": _json_safe(result.divergence_of(pattern)),
             "contributions": [
-                {"item": str(item), "value": value}
+                {"item": str(item), "value": _json_safe(value)}
                 for item, value in sorted(
                     contributions.items(), key=lambda kv: -abs(kv[1])
                 )
@@ -381,7 +466,7 @@ class _Handler(BaseHTTPRequestHandler):
             "items": [
                 {
                     "item": str(item),
-                    "global": value,
+                    "global": _json_safe(value),
                     "individual": _json_safe(
                         individual.get(item, float("nan"))
                     ),
@@ -402,8 +487,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "item": str(c.item),
                     "base_divergence": _json_safe(c.base_divergence),
                     "corrected_divergence": _json_safe(c.corrected_divergence),
-                    "factor": c.corrective_factor,
-                    "t": c.t_statistic,
+                    "factor": _json_safe(c.corrective_factor),
+                    "t": _json_safe(c.t_statistic),
                 }
                 for c in find_corrective_items(result, k=top)
             ]
@@ -419,7 +504,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "itemset": str(node),
                 "length": len(node),
                 "divergence": _json_safe(data["divergence"]),
-                "support": data["support"],
+                "support": _json_safe(data["support"]),
                 "corrective": data["corrective"],
                 "divergent": (
                     not math.isnan(data["divergence"])
@@ -438,15 +523,35 @@ class _Handler(BaseHTTPRequestHandler):
         ]
         return {"pattern": str(pattern), "nodes": nodes, "edges": edges}
 
+    def _metrics(self) -> dict:
+        """Process-wide observability snapshot (``/api/metrics``).
+
+        Counters include mining-cache and app-cache hit/monotone-hit/
+        miss/eviction counts, gauges the live cache sizes, histograms
+        the per-endpoint and per-stage latency distributions.
+        """
+        state = self._state
+        snapshot = get_registry().snapshot()
+        with state._lock:
+            snapshot["gauges"]["app_cache.entries"] = float(len(state._cache))
+            snapshot["gauges"]["app_state.explorers"] = float(
+                len(state._explorers)
+            )
+        return snapshot
+
     # ------------------------------------------------------------------
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
-        body = json.dumps(payload).encode()
+        # The recursive sanitize pass is the last line of defense: no
+        # response may carry bare Infinity/NaN tokens (invalid JSON),
+        # and allow_nan=False turns any miss into a loud failure.
+        body = json.dumps(_sanitize(payload), allow_nan=False).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._record_request(status)
 
     def _send_html(self, html: str) -> None:
         body = html.encode()
@@ -455,6 +560,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._record_request(200)
 
 
 def create_server(

@@ -30,6 +30,8 @@ from repro.datasets import DATASET_NAMES, dataset_characteristics, load
 from repro.exceptions import ReproError
 from repro.experiments.report import divergence_report
 from repro.experiments.tables import format_table
+from repro.obs import render_profile, span
+from repro.params import validate_epsilon, validate_support
 from repro.tabular.discretize import discretize_table
 from repro.tabular.io import read_csv
 
@@ -40,11 +42,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="DivExplorer reproduction — pattern divergence analysis",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing table after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("datasets", help="list bundled datasets")
+    def add_profile_arg(p: argparse.ArgumentParser) -> None:
+        # Accepted after the subcommand too; SUPPRESS keeps the
+        # subparser from clobbering a --profile given before it.
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
+
+    add_profile_arg(sub.add_parser("datasets", help="list bundled datasets"))
 
     def add_data_args(p: argparse.ArgumentParser) -> None:
+        add_profile_arg(p)
         p.add_argument("--dataset", choices=DATASET_NAMES,
                        help="bundled dataset name")
         p.add_argument("--csv", help="CSV file with your own data")
@@ -102,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", help="write report to this file")
 
     p_study = sub.add_parser("study", help="simulated user study")
+    add_profile_arg(p_study)
     p_study.add_argument("--seed", type=int, default=0)
     p_study.add_argument("--users", type=int, default=35)
 
@@ -131,11 +150,31 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        _dispatch(args)
+        _validate_args(args)
+        with span(f"cli.{args.command}"):
+            _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if getattr(args, "profile", False):
+            table = render_profile()
+            if table:
+                print(f"\n-- profile ({args.command}) --")
+                print(table)
     return 0
+
+
+def _validate_args(args: argparse.Namespace) -> None:
+    """Reject bad analysis parameters at the edge with a clear message.
+
+    Without this, ``--support 0`` (or negative, or > 1) reaches the
+    miners and fails with an opaque numpy error.
+    """
+    if getattr(args, "support", None) is not None:
+        args.support = validate_support(args.support)
+    if getattr(args, "epsilon", None) is not None:
+        args.epsilon = validate_epsilon(args.epsilon)
 
 
 def _dispatch(args: argparse.Namespace) -> None:

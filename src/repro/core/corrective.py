@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.items import Item, Itemset
 from repro.core.result import PatternDivergenceResult
 from repro.core.significance import beta_moments, welch_t_statistic
+from repro.obs import span
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,7 @@ def _sort_corrections(found: list[CorrectiveItem]) -> list[CorrectiveItem]:
     return found
 
 
+@span("kernel.find_corrective_items")
 def find_corrective_items(
     result: PatternDivergenceResult,
     k: int = 10,

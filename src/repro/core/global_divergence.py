@@ -29,8 +29,10 @@ import numpy as np
 from repro.core.items import Item, Itemset
 from repro.core.result import PatternDivergenceResult
 from repro.exceptions import ReproError
+from repro.obs import span
 
 
+@span("kernel.global_item_divergence")
 def global_item_divergence(
     result: PatternDivergenceResult,
 ) -> dict[Item, float]:

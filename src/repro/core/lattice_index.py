@@ -32,6 +32,7 @@ from math import factorial
 import numpy as np
 
 from repro.fpm.transactions import ItemCatalog
+from repro.obs import get_registry, span
 
 # Sentinel used while sorting padded rows: real entries are ``id + 1``
 # (> 0) and padding is 0, so anything above every real id works.
@@ -67,6 +68,13 @@ class LatticeIndex:
     """
 
     def __init__(self, keys: Sequence[frozenset[int]], catalog: ItemCatalog) -> None:
+        with span("lattice_index.build") as build_span:
+            self._build(keys, catalog)
+        build_span.count("rows", self.n_table_rows)
+
+    def _build(
+        self, keys: Sequence[frozenset[int]], catalog: ItemCatalog
+    ) -> None:
         n = len(keys)
         self.n_table_rows = n
         self.lengths = np.fromiter(
@@ -165,6 +173,9 @@ class LatticeIndex:
         Queries must use the canonical padding: entries ``id + 1``
         ascending, zeros on the right, width :attr:`width`.
         """
+        registry = get_registry()
+        registry.counter("lattice_index.lookups").inc()
+        registry.counter("lattice_index.keys_looked_up").inc(len(padded))
         queries = _void_view(padded.astype(np.uint32, copy=False))
         pos = np.searchsorted(self._blobs_sorted, queries)
         pos_c = np.minimum(pos, len(self._blobs_sorted) - 1)

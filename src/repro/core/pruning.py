@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.core.result import PatternDivergenceResult, PatternRecord
 from repro.exceptions import ReproError
+from repro.obs import span
+
 
 def _sort_records(records: list[PatternRecord]) -> list[PatternRecord]:
     """Deterministic, backend-independent pruning order."""
@@ -104,6 +106,7 @@ def is_redundant_reference(
     return False
 
 
+@span("kernel.prune_redundant")
 def prune_redundant(
     result: PatternDivergenceResult, epsilon: float
 ) -> list[PatternRecord]:

@@ -29,8 +29,10 @@ import numpy as np
 from repro.core.items import Item, Itemset
 from repro.core.result import PatternDivergenceResult
 from repro.exceptions import ReproError
+from repro.obs import span
 
 
+@span("kernel.shapley_batch")
 def shapley_batch(
     result: PatternDivergenceResult, itemsets: list[Itemset]
 ) -> list[dict[Item, float]]:

@@ -14,30 +14,43 @@ with a fresh exploration. :class:`MiningCache` keys completed runs by
   byte-identical to a fresh run).
 
 Entries are evicted least-recently-used beyond ``max_entries``.
+
+The cache is thread-safe: the app server hands explorers backed by one
+cache to ``ThreadingHTTPServer`` worker threads, so lookups, stores,
+evictions and stats updates all happen under an internal lock
+(mirroring the app-server cache discipline, mining itself runs outside
+the lock). Hit/monotone-hit/miss/eviction counters are exposed on
+:attr:`MiningCache.stats` and mirrored into the process metrics
+registry under ``mining_cache.*`` for the server's ``/api/metrics``
+endpoint.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.fpm.miner import FrequentItemsets, Miner, mine_frequent
 from repro.fpm.transactions import TransactionDataset
+from repro.obs import get_registry
 
 
 @dataclass
 class CacheStats:
-    """Counters exposed for tests, benchmarks and the app's /stats."""
+    """Counters exposed for tests, benchmarks and ``/api/metrics``."""
 
     hits: int = 0
     monotone_hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "monotone_hits": self.monotone_hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
 
@@ -56,14 +69,28 @@ class MiningCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.stats = CacheStats()
+        # Guards the entry table and the stats; reentrant because the
+        # locked sections share helpers like __len__.
+        self._lock = threading.RLock()
         # (fingerprint, algorithm) -> entries, most recently used last.
         self._entries: OrderedDict[tuple[str, str], list[_Entry]] = OrderedDict()
 
     def __len__(self) -> int:
-        return sum(len(v) for v in self._entries.values())
+        with self._lock:
+            return sum(len(v) for v in self._entries.values())
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def _bump(self, stat: str, amount: int = 1) -> None:
+        """Increment one stats field and its registry mirror.
+
+        Must be called with :attr:`_lock` held so the dataclass
+        increments stay atomic under concurrent serving.
+        """
+        setattr(self.stats, stat, getattr(self.stats, stat) + amount)
+        get_registry().counter(f"mining_cache.{stat}").inc(amount)
 
     # ------------------------------------------------------------------
 
@@ -82,26 +109,38 @@ class MiningCache:
         thresholds, so callers cannot observe whether they hit or missed.
         """
         key = (dataset.fingerprint(), algorithm)
-        bucket = self._entries.get(key)
-        if bucket is not None:
-            self._entries.move_to_end(key)
-            for entry in bucket:
-                if not self._covers(entry, min_support, max_length):
-                    continue
-                exact = (
-                    entry.min_support == min_support
-                    and entry.max_length == max_length
-                )
-                if exact:
-                    self.stats.hits += 1
-                    return entry.result
-                self.stats.monotone_hits += 1
-                return _filter(entry.result, dataset, min_support, max_length)
-        self.stats.misses += 1
+        with self._lock:
+            bucket = self._entries.get(key)
+            if bucket is not None:
+                self._entries.move_to_end(key)
+                for entry in bucket:
+                    if not self._covers(entry, min_support, max_length):
+                        continue
+                    exact = (
+                        entry.min_support == min_support
+                        and entry.max_length == max_length
+                    )
+                    if exact:
+                        self._bump("hits")
+                        return entry.result
+                    self._bump("monotone_hits")
+                    cached = entry.result
+                    break
+                else:
+                    cached = None
+            else:
+                cached = None
+            if cached is None:
+                self._bump("misses")
+        # Mining (and monotone filtering) runs outside the lock so a
+        # slow exploration never blocks concurrent cache hits.
+        if cached is not None:
+            return _filter(cached, dataset, min_support, max_length)
         result = mine_frequent(
             dataset, min_support, algorithm=algorithm, max_length=max_length
         )
-        self._store(key, _Entry(min_support, max_length, result))
+        with self._lock:
+            self._store(key, _Entry(min_support, max_length, result))
         return result
 
     # ------------------------------------------------------------------
@@ -132,6 +171,7 @@ class MiningCache:
             oldest_key = next(iter(self._entries))
             oldest_bucket = self._entries[oldest_key]
             oldest_bucket.pop(0)
+            self._bump("evictions")
             if not oldest_bucket:
                 del self._entries[oldest_key]
 

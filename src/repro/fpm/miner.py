@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.exceptions import MiningError
 from repro.fpm.transactions import TransactionDataset
+from repro.obs import get_registry, span
 
 ItemsetKey = frozenset[int]
 
@@ -169,4 +170,11 @@ def mine_frequent(
         raise MiningError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(miners)}"
         ) from None
-    return miner_cls().mine(dataset, min_support, max_length=max_length)
+    # Every backend is timed and counted through the same funnel, so
+    # /api/metrics and --profile attribute mining cost per algorithm.
+    with span(f"fpm.mine.{algorithm}"):
+        result = miner_cls().mine(dataset, min_support, max_length=max_length)
+    registry = get_registry()
+    registry.counter(f"fpm.mine.{algorithm}.runs").inc()
+    registry.counter(f"fpm.mine.{algorithm}.itemsets").inc(len(result))
+    return result

@@ -1,0 +1,33 @@
+"""Dependency-free observability: metrics, spans, profile tables.
+
+The serving stack's shared instrumentation layer (see
+``docs/observability.md``): a process-wide :class:`MetricsRegistry`
+with counters, gauges and latency histograms; :func:`span` for nested
+wall-clock timing of hot stages; and profile-table helpers the CLI's
+``--profile`` flag and the benchmark scripts build on. Everything is
+stdlib-only and thread-safe, so the mining backends, caches, lattice
+kernels and HTTP endpoints can all record into one place without new
+dependencies or lock-ordering concerns.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.profile import render_profile, span_rows
+from repro.obs.spans import current_span, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_span",
+    "get_registry",
+    "render_profile",
+    "span",
+    "span_rows",
+]

@@ -1,0 +1,205 @@
+"""Process-wide metrics: counters, gauges and latency histograms.
+
+The registry is the single source of runtime truth for the serving
+stack: mining backends, the mining/result caches, the lattice kernels
+and the HTTP endpoints all record into the process-wide instance
+returned by :func:`get_registry`. Everything here is dependency-free
+and thread-safe — instruments take a per-instrument lock on update,
+and :meth:`MetricsRegistry.snapshot` produces a consistent, JSON-ready
+view that ``/api/metrics`` serves verbatim.
+
+Histograms keep exact count/sum/min/max plus a bounded reservoir of
+the most recent observations, from which the snapshot derives p50/p90/
+p99 — constant memory no matter how much traffic flows through.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing counter (int or float increments)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (cache sizes, queue depths)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Latency/size distribution with exact totals and a reservoir.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation;
+    percentiles are computed over the last ``reservoir`` observations,
+    which keeps memory constant under unbounded traffic while staying
+    faithful to the recent distribution (what a latency dashboard
+    wants).
+    """
+
+    __slots__ = ("_lock", "count", "total", "_min", "_max", "_recent")
+
+    def __init__(self, reservoir: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._recent: deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._recent.append(value)
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile of a non-empty sorted list."""
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        """Consistent JSON-ready summary of the distribution."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            lo, hi = self._min, self._max
+            recent = sorted(self._recent)
+        out: dict[str, float | int | None] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else None,
+            "min": lo,
+            "max": hi,
+        }
+        if recent:
+            out["p50"] = self._percentile(recent, 0.50)
+            out["p90"] = self._percentile(recent, 0.90)
+            out["p99"] = self._percentile(recent, 0.99)
+        else:
+            out["p50"] = out["p90"] = out["p99"] = None
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted atomically.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create and safe to
+    call from any thread; the instruments themselves serialize their
+    updates, so the registry lock only guards the name tables.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str, reservoir: int = 1024) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(reservoir)
+            return instrument
+
+    # -- views ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as one nested, JSON-serializable dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, benchmark isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented layer records into."""
+    return _REGISTRY

@@ -1,0 +1,73 @@
+"""Per-stage profile tables derived from recorded spans.
+
+:func:`span_rows` turns a registry snapshot into sortable row dicts
+(one per span: calls, total/self/mean/max milliseconds) that benchmark
+scripts attach to their JSON payloads; :func:`render_profile` formats
+the same rows as an aligned text table for the CLI's ``--profile``
+flag. Both are read-only views — profiling never perturbs the
+registry.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["span_rows", "render_profile"]
+
+_SPAN_PREFIX = "span."
+
+
+def span_rows(
+    snapshot: dict | None = None, registry: MetricsRegistry | None = None
+) -> list[dict[str, object]]:
+    """One row per recorded span, sorted by total time (descending).
+
+    Accepts an existing :meth:`MetricsRegistry.snapshot` dict or takes
+    a fresh one from ``registry`` (the process registry by default).
+    """
+    if snapshot is None:
+        snapshot = (registry or get_registry()).snapshot()
+    counters = snapshot.get("counters", {})
+    rows = []
+    for name, hist in snapshot.get("histograms", {}).items():
+        if not name.startswith(_SPAN_PREFIX) or not hist.get("count"):
+            continue
+        short = name[len(_SPAN_PREFIX):]
+        total = float(hist["sum"])
+        child = float(counters.get(f"{name}.child_seconds", 0.0))
+        rows.append(
+            {
+                "span": short,
+                "calls": int(hist["count"]),
+                "total_ms": round(total * 1e3, 3),
+                "self_ms": round(max(0.0, total - child) * 1e3, 3),
+                "mean_ms": round(total / hist["count"] * 1e3, 3),
+                "max_ms": round(float(hist["max"]) * 1e3, 3),
+            }
+        )
+    rows.sort(key=lambda r: (-r["total_ms"], r["span"]))
+    return rows
+
+
+def render_profile(
+    snapshot: dict | None = None, registry: MetricsRegistry | None = None
+) -> str:
+    """Aligned text table of the span profile (empty string if none)."""
+    rows = span_rows(snapshot, registry)
+    if not rows:
+        return ""
+    headers = ["span", "calls", "total_ms", "self_ms", "mean_ms", "max_ms"]
+    cells = [[str(r[h]) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(values: list[str]) -> str:
+        # Left-align the span name, right-align the numeric columns.
+        first = values[0].ljust(widths[0])
+        rest = [v.rjust(w) for v, w in zip(values[1:], widths[1:])]
+        return "  ".join([first, *rest])
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)

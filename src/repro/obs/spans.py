@@ -1,0 +1,106 @@
+"""Nested wall-clock spans over the metrics registry.
+
+``span(name)`` times a stage and records it into the registry as the
+histogram ``span.<name>`` (seconds). Spans nest: while a span is open,
+any span entered on the same thread becomes its child, and the parent
+accumulates the child time into the counter
+``span.<name>.child_seconds`` — the profile table uses it to show
+*self* time next to total time. A span doubles as a decorator::
+
+    with span("fpm.mine.bitset"):
+        ...                       # timed block
+
+    @span("kernel.prune_redundant")
+    def prune_redundant(...):     # every call timed
+        ...
+
+Per-span counters ride along via :meth:`span.count`, namespaced under
+the span: ``span.count("itemsets", 123)`` increments
+``span.<name>.itemsets``.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Callable, TypeVar
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["span", "current_span"]
+
+F = TypeVar("F", bound=Callable)
+
+_local = threading.local()
+
+
+def _stack() -> list["span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span() -> "span | None":
+    """The innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class span:
+    """Context manager / decorator timing one named stage.
+
+    Instances are single-use as context managers (the decorator form
+    opens a fresh span per call); create one per ``with`` block.
+    """
+
+    __slots__ = ("name", "_registry", "_start", "child_seconds")
+
+    def __init__(self, name: str, registry: MetricsRegistry | None = None):
+        self.name = name
+        self._registry = registry
+        self._start: float | None = None
+        self.child_seconds = 0.0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def count(self, key: str, amount: float = 1) -> None:
+        """Increment the per-span counter ``span.<name>.<key>``."""
+        self.registry.counter(f"span.{self.name}.{key}").inc(amount)
+
+    # -- context manager ----------------------------------------------
+
+    def __enter__(self) -> "span":
+        self._start = time.perf_counter()
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        registry = self.registry
+        registry.histogram(f"span.{self.name}").observe(elapsed)
+        if self.child_seconds:
+            registry.counter(f"span.{self.name}.child_seconds").inc(
+                self.child_seconds
+            )
+        if stack:
+            stack[-1].child_seconds += elapsed
+        return False
+
+    # -- decorator -----------------------------------------------------
+
+    def __call__(self, fn: F) -> F:
+        name, registry = self.name, self._registry
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(name, registry):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]

@@ -1,0 +1,55 @@
+"""Shared edge validation of user-facing analysis parameters.
+
+The CLI and the HTTP server both accept ``support`` / ``epsilon`` from
+untrusted input; without early checks a ``--support 0`` (or negative,
+or ``> 1``) sails into the miners and dies with an opaque numpy error
+several layers deep. These helpers reject bad values at the boundary
+with a clear message — :class:`~repro.exceptions.ReproError` maps to a
+usage error in the CLI and a 400 response in the server.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ReproError
+
+__all__ = ["validate_support", "validate_epsilon", "validate_top"]
+
+
+def validate_support(value: float | str) -> float:
+    """Coerce and check a support threshold: must satisfy ``0 < s <= 1``."""
+    try:
+        support = float(value)
+    except (TypeError, ValueError):
+        raise ReproError(f"support must be a number, got {value!r}") from None
+    if math.isnan(support) or not 0.0 < support <= 1.0:
+        raise ReproError(
+            f"support must be in (0, 1], got {value!r} "
+            "(it is the minimum fraction of rows a pattern must cover)"
+        )
+    return support
+
+
+def validate_epsilon(value: float | str | None) -> float | None:
+    """Coerce and check an ε-pruning threshold: ``epsilon >= 0``."""
+    if value is None:
+        return None
+    try:
+        epsilon = float(value)
+    except (TypeError, ValueError):
+        raise ReproError(f"epsilon must be a number, got {value!r}") from None
+    if math.isnan(epsilon) or epsilon < 0.0:
+        raise ReproError(f"epsilon must be >= 0, got {value!r}")
+    return epsilon
+
+
+def validate_top(value: int | str, minimum: int = 1) -> int:
+    """Coerce and check a top-k count: ``top >= minimum``."""
+    try:
+        top = int(value)
+    except (TypeError, ValueError):
+        raise ReproError(f"top must be an integer, got {value!r}") from None
+    if top < minimum:
+        raise ReproError(f"top must be >= {minimum}, got {value!r}")
+    return top

@@ -128,6 +128,26 @@ class TestErrors:
             get_json(server_url + "/api/explore?dataset=compas&support=banana")
         assert err.value.code == 400
 
+    @pytest.mark.parametrize("support", ["0", "-0.1", "1.5", "nan"])
+    def test_out_of_range_support_400(self, server_url, support):
+        with pytest.raises(HTTPError) as err:
+            get_json(
+                server_url + f"/api/explore?dataset=compas&support={support}"
+            )
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert "support must be in (0, 1]" in body["error"]
+
+    def test_negative_epsilon_400(self, server_url):
+        with pytest.raises(HTTPError) as err:
+            get_json(
+                server_url
+                + "/api/explore?dataset=compas&support=0.1&epsilon=-0.5"
+            )
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert "epsilon" in body["error"]
+
     def test_infrequent_pattern_400(self, server_url):
         with pytest.raises(HTTPError) as err:
             get_json(
@@ -204,6 +224,45 @@ class TestCaching:
         _, rows2 = state.explore_rows("compas", "fpr", 0.2, 5)
         assert rows2 == rows  # re-rendered, same content
         assert rows2 is not rows
+
+
+class TestMetrics:
+    def test_metrics_snapshot_shape(self, server_url):
+        get_json(
+            server_url + "/api/explore?dataset=compas&metric=fpr&support=0.1"
+        )
+        snap = get_json(server_url + "/api/metrics")
+        assert set(snap) >= {"counters", "gauges", "histograms"}
+        # Live cache gauges are filled in under the state lock.
+        assert snap["gauges"]["app_cache.entries"] >= 1
+        assert snap["gauges"]["app_state.explorers"] >= 1
+        # Mining/app cache counters mirror into the registry.
+        assert snap["counters"].get("mining_cache.misses", 0) >= 1
+
+    def test_metrics_track_requests_and_latency(self, server_url):
+        before = get_json(server_url + "/api/metrics")
+        get_json(
+            server_url + "/api/explore?dataset=compas&metric=fpr&support=0.1"
+        )
+        after = get_json(server_url + "/api/metrics")
+
+        def requests(snap):
+            return snap["counters"].get("http./api/explore.requests", 0)
+
+        assert requests(after) == requests(before) + 1
+        hist = after["histograms"]["http./api/explore.seconds"]
+        assert hist["count"] == requests(after)
+        assert hist["p50"] is not None and hist["p50"] >= 0
+        # /api/metrics itself is instrumented too.
+        assert after["counters"]["http./api/metrics.requests"] >= 1
+
+    def test_unknown_paths_aggregate_as_other(self, server_url):
+        with pytest.raises(HTTPError):
+            get_json(server_url + "/api/definitely-not-real")
+        snap = get_json(server_url + "/api/metrics")
+        assert snap["counters"]["http.other.status.404"] >= 1
+        # The bogus path itself must not become a metric name.
+        assert not any("definitely-not-real" in k for k in snap["counters"])
 
 
 class TestUpload:

@@ -139,6 +139,49 @@ class TestCommands:
         assert main(["explore"]) == 1
 
 
+class TestParamValidation:
+    @pytest.mark.parametrize("support", ["0", "-0.1", "1.5", "nan"])
+    def test_bad_support_is_usage_error(self, support, capsys):
+        code = main(
+            ["explore", "--dataset", "compas", "--support", support]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "support must be in (0, 1]" in err
+
+    def test_negative_epsilon_is_usage_error(self, capsys):
+        code = main(
+            ["explore", "--dataset", "compas", "--support", "0.1",
+             "--epsilon", "-0.5"]
+        )
+        assert code == 1
+        assert "epsilon must be >= 0" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_prints_span_table(self, capsys):
+        code = main(
+            ["explore", "--dataset", "compas", "--support", "0.2",
+             "--top", "3", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- profile (explore) --" in out
+        assert "cli.explore" in out
+        assert "total_ms" in out
+
+    def test_profile_before_subcommand(self, capsys):
+        # The subparser must not clobber a --profile given up front.
+        code = main(["--profile", "datasets"])
+        assert code == 0
+        assert "-- profile (datasets) --" in capsys.readouterr().out
+
+    def test_no_profile_no_table(self, capsys):
+        code = main(["datasets"])
+        assert code == 0
+        assert "-- profile" not in capsys.readouterr().out
+
+
 class TestSignificantCommand:
     def test_significant(self, capsys):
         code = main(

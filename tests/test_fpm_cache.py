@@ -41,6 +41,7 @@ class TestMiningCache:
             "hits": 1,
             "monotone_hits": 0,
             "misses": 1,
+            "evictions": 0,
         }
 
     def test_monotone_hit_equals_fresh_run(self):
@@ -175,7 +176,12 @@ class TestExplorerWiring:
         explorer.explore("fpr", min_support=0.1, use_cache=False)
         explorer.explore("fpr", min_support=0.1, use_cache=False)
         stats = explorer.mining_cache.stats.as_dict()
-        assert stats == {"hits": 0, "monotone_hits": 0, "misses": 0}
+        assert stats == {
+            "hits": 0,
+            "monotone_hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
 
     def test_cached_results_match_uncached(self):
         explorer = make_explorer(seed=3)

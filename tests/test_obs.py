@@ -1,0 +1,300 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    render_profile,
+    span,
+    span_rows,
+)
+from repro.obs.spans import current_span
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_concurrent_increments_are_atomic(self, registry):
+        counter = registry.counter("hammer")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauges:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("entries")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 11
+
+
+class TestHistograms:
+    def test_snapshot_statistics(self, registry):
+        hist = registry.histogram("latency")
+        for v in [0.1, 0.2, 0.3, 0.4]:
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(1.0)
+        assert snap["mean"] == pytest.approx(0.25)
+        assert snap["min"] == 0.1
+        assert snap["max"] == 0.4
+        assert snap["p50"] in (0.2, 0.3)
+        assert snap["p99"] == 0.4
+
+    def test_empty_histogram_snapshot(self, registry):
+        snap = registry.histogram("empty").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None and snap["p50"] is None
+
+    def test_reservoir_bounds_memory(self, registry):
+        hist = registry.histogram("bounded", reservoir=16)
+        for i in range(1000):
+            hist.observe(float(i))
+        snap = hist.snapshot()
+        assert snap["count"] == 1000  # exact totals survive
+        assert snap["min"] == 0.0 and snap["max"] == 999.0
+        assert snap["p50"] >= 984.0  # percentiles over the recent window
+
+    def test_concurrent_observe_consistent(self, registry):
+        hist = registry.histogram("mt")
+
+        def worker():
+            for _ in range(500):
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = hist.snapshot()
+        assert snap["count"] == 4000
+        assert snap["sum"] == pytest.approx(4000.0)
+
+
+class TestRegistry:
+    def test_snapshot_is_json_serializable(self, registry):
+        registry.counter("c").inc()
+        registry.gauge("g").set(3.5)
+        registry.histogram("h").observe(0.01)
+        snap = registry.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["counters"]["c"] == 1
+        assert parsed["gauges"]["g"] == 3.5
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_process_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestSpans:
+    def test_span_records_histogram(self, registry):
+        with span("stage", registry):
+            pass
+        snap = registry.snapshot()
+        assert snap["histograms"]["span.stage"]["count"] == 1
+        assert snap["histograms"]["span.stage"]["sum"] >= 0
+
+    def test_nested_spans_credit_child_time_to_parent(self, registry):
+        with span("outer", registry):
+            with span("inner", registry):
+                pass
+        snap = registry.snapshot()
+        outer = snap["histograms"]["span.outer"]
+        inner = snap["histograms"]["span.inner"]
+        child = snap["counters"]["span.outer.child_seconds"]
+        assert outer["sum"] >= inner["sum"]
+        assert child == pytest.approx(inner["sum"])
+
+    def test_current_span_tracks_nesting(self, registry):
+        assert current_span() is None
+        with span("a", registry) as a:
+            assert current_span() is a
+            with span("b", registry) as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_span_as_decorator(self, registry):
+        @span("fn", registry)
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert add(1, 1) == 2
+        assert registry.snapshot()["histograms"]["span.fn"]["count"] == 2
+
+    def test_span_records_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with span("boom", registry):
+                raise RuntimeError("x")
+        assert registry.snapshot()["histograms"]["span.boom"]["count"] == 1
+        assert current_span() is None
+
+    def test_per_span_counters(self, registry):
+        with span("mine", registry) as s:
+            s.count("itemsets", 42)
+        assert registry.snapshot()["counters"]["span.mine.itemsets"] == 42
+
+
+class TestProfile:
+    def test_span_rows_sorted_by_total(self, registry):
+        with span("slow", registry):
+            for _ in range(10000):
+                pass
+        with span("fast", registry):
+            pass
+        rows = span_rows(registry=registry)
+        assert [r["span"] for r in rows][0] in ("slow", "fast")
+        for row in rows:
+            assert set(row) == {
+                "span", "calls", "total_ms", "self_ms", "mean_ms", "max_ms",
+            }
+            assert row["self_ms"] <= row["total_ms"]
+
+    def test_render_profile_empty_registry(self, registry):
+        assert render_profile(registry=registry) == ""
+
+    def test_render_profile_contains_span_names(self, registry):
+        with span("stage.one", registry):
+            pass
+        text = render_profile(registry=registry)
+        assert "stage.one" in text
+        assert "total_ms" in text
+
+
+class TestInstrumentation:
+    """Metrics emitted by real mining/analytics runs."""
+
+    def test_cached_vs_uncached_exploration(self, small_explorer):
+        registry = get_registry()
+
+        def cache_counters():
+            counters = registry.snapshot()["counters"]
+            return {
+                name: counters.get(f"mining_cache.{name}", 0)
+                for name in ("hits", "misses", "monotone_hits")
+            }
+
+        before = cache_counters()
+        small_explorer.explore("fpr", min_support=0.2)
+        after_first = cache_counters()
+        assert after_first["misses"] == before["misses"] + 1
+        assert after_first["hits"] == before["hits"]
+
+        small_explorer.explore("fpr", min_support=0.2)
+        after_second = cache_counters()
+        assert after_second["misses"] == after_first["misses"]  # no re-mine
+        assert after_second["hits"] == after_first["hits"] + 1
+
+        small_explorer.explore("fpr", min_support=0.5)
+        after_monotone = cache_counters()
+        assert (
+            after_monotone["monotone_hits"]
+            == after_second["monotone_hits"] + 1
+        )
+
+    def test_mining_records_backend_spans(self, small_explorer):
+        registry = get_registry()
+
+        def backend_stats():
+            snap = registry.snapshot()
+            hist = snap["histograms"].get("span.fpm.mine.eclat")
+            runs = snap["counters"].get("fpm.mine.eclat.runs", 0)
+            return (hist["count"] if hist else 0), runs
+
+        timings_before, runs_before = backend_stats()
+        result = small_explorer.explore(
+            "fpr", min_support=0.2, algorithm="eclat", use_cache=False
+        )
+        timings_after, runs_after = backend_stats()
+        assert timings_after == timings_before + 1
+        assert runs_after == runs_before + 1
+        itemsets = registry.snapshot()["counters"]["fpm.mine.eclat.itemsets"]
+        assert itemsets >= len(result)
+
+    def test_kernels_record_spans(self, small_explorer):
+        registry = get_registry()
+        result = small_explorer.explore("fpr", min_support=0.2)
+
+        def kernel_counts():
+            hists = registry.snapshot()["histograms"]
+            return {
+                name: hists.get(f"span.kernel.{name}", {}).get("count", 0)
+                for name in (
+                    "global_item_divergence",
+                    "prune_redundant",
+                    "find_corrective_items",
+                    "shapley_batch",
+                )
+            }
+
+        before = kernel_counts()
+        result.global_item_divergence()
+        result.pruned(0.05)
+        result.corrective_items(3)
+        result.shapley_batch([result.top_k(1)[0].itemset])
+        after = kernel_counts()
+        for name in before:
+            assert after[name] == before[name] + 1, name
+
+    def test_lattice_index_build_recorded(self, small_explorer):
+        registry = get_registry()
+        result = small_explorer.explore("fpr", min_support=0.2)
+        builds_before = (
+            registry.snapshot()["histograms"]
+            .get("span.lattice_index.build", {})
+            .get("count", 0)
+        )
+        result.lattice_index()
+        builds_after = registry.snapshot()["histograms"][
+            "span.lattice_index.build"
+        ]["count"]
+        assert builds_after == builds_before + 1
+        result.lattice_index()  # cached: no rebuild
+        assert (
+            registry.snapshot()["histograms"]["span.lattice_index.build"][
+                "count"
+            ]
+            == builds_after
+        )

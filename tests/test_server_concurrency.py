@@ -1,0 +1,216 @@
+"""Concurrency and JSON-strictness regression tests for the server.
+
+Hammers a live ``create_server()`` instance from ~8 threads across
+mixed endpoints and asserts every single response parses as *strict*
+JSON — bare ``Infinity``/``NaN`` tokens (what ``json.dumps`` emits for
+non-finite floats) are rejected, which pins the serialization fix, and
+the mixed read/evict traffic over a deliberately tiny LRU pins the
+cache race fixes in ``MiningCache`` and ``AppState``.
+"""
+
+import json
+import math
+import threading
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.app.server import AppState, _json_safe, _sanitize, create_server
+from repro.fpm.cache import MiningCache
+from tests.conftest import make_random_dataset
+
+ITERATIONS = 50
+THREADS = 8
+
+
+def _reject_constant(name: str):
+    raise AssertionError(f"non-strict JSON token in response: {name}")
+
+
+def strict_json(body: bytes) -> dict:
+    """Parse like ``JSON.parse``: Infinity/NaN tokens are an error."""
+    return json.loads(body.decode(), parse_constant=_reject_constant)
+
+
+class TestSanitizers:
+    """The serialization fix itself, without a live server."""
+
+    @pytest.mark.parametrize(
+        "value", [math.inf, -math.inf, math.nan, float("nan")]
+    )
+    def test_json_safe_maps_nonfinite_to_none(self, value):
+        assert _json_safe(value) is None
+
+    def test_json_safe_passes_finite_values(self):
+        assert _json_safe(1.5) == 1.5
+        assert _json_safe(0.0) == 0.0
+        assert _json_safe("sex=Male") == "sex=Male"
+
+    def test_sanitize_recurses_into_nested_payloads(self):
+        payload = {
+            "t": math.inf,
+            "patterns": [
+                {"divergence": math.nan, "support": 0.2},
+                {"contributions": [{"value": -math.inf}]},
+            ],
+            "counts": (1, math.inf),
+        }
+        clean = _sanitize(payload)
+        assert clean["t"] is None
+        assert clean["patterns"][0]["divergence"] is None
+        assert clean["patterns"][0]["support"] == 0.2
+        assert clean["patterns"][1]["contributions"][0]["value"] is None
+        assert clean["counts"] == [1, None]
+        # The sanitized payload round-trips under the strictest settings.
+        json.dumps(clean, allow_nan=False)
+
+    def test_welch_infinity_payload_becomes_valid_json(self):
+        # The exact shape /api/explore serializes, with the inf a
+        # zero-variance Welch comparison produces.
+        row = {"itemset": "a=1", "support": 0.5, "divergence": 0.1,
+               "t": math.inf}
+        body = json.dumps(_sanitize({"patterns": [row]}), allow_nan=False)
+        assert "Infinity" not in body
+        assert strict_json(body.encode())["patterns"][0]["t"] is None
+
+
+class TestMiningCacheThreadSafety:
+    def test_concurrent_mining_is_consistent(self):
+        """Hammer one cache from 8 threads: no lost stats, sane size."""
+        datasets = [make_random_dataset(seed) for seed in range(6)]
+        cache = MiningCache(max_entries=3)
+        errors = []
+
+        def worker(offset: int) -> None:
+            try:
+                for i in range(30):
+                    ds = datasets[(offset + i) % len(datasets)]
+                    support = (0.05, 0.1, 0.2)[(offset + i) % 3]
+                    result = cache.mine(ds, support)
+                    assert frozenset() in result
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 3
+        stats = cache.stats
+        total = stats.hits + stats.monotone_hits + stats.misses
+        assert total == THREADS * 30
+
+    def test_stats_expose_evictions(self):
+        cache = MiningCache(max_entries=1)
+        cache.mine(make_random_dataset(0), 0.1)
+        cache.mine(make_random_dataset(1), 0.1)
+        assert cache.stats.evictions == 1
+        assert cache.stats.as_dict()["evictions"] == 1
+
+
+@pytest.fixture(scope="module")
+def hammer_server_url():
+    # max_results=3 forces continuous LRU eviction under the mixed
+    # workload below, which is exactly where the races lived.
+    server = create_server(port=0, seed=0, max_results=3)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+class TestConcurrentServing:
+    def _mixed_urls(self, base: str, pattern: str) -> list[str]:
+        quoted = urllib.parse.quote(pattern)
+        return [
+            base + "/api/explore?dataset=compas&metric=fpr&support=0.1&top=5",
+            base + "/api/explore?dataset=compas&metric=fnr&support=0.15"
+            + "&top=10&epsilon=0.05",
+            base + "/api/explore?dataset=compas&metric=fpr&support=0.2&top=3",
+            base + "/api/global?dataset=compas&metric=fpr&support=0.15&top=5",
+            base + "/api/corrective?dataset=compas&metric=fnr&support=0.2"
+            + "&top=3",
+            base + "/api/explain?dataset=compas&metric=fpr&support=0.2&top=2",
+            base + "/api/shapley?dataset=compas&metric=fpr&support=0.1"
+            + f"&pattern={quoted}",
+            base + "/api/metrics",
+        ]
+
+    def test_hammer_mixed_endpoints_strict_json(self, hammer_server_url):
+        """8 threads x 50 iterations: every response is strict JSON."""
+        with urllib.request.urlopen(
+            hammer_server_url
+            + "/api/explore?dataset=compas&metric=fpr&support=0.1&top=1",
+            timeout=60,
+        ) as response:
+            pattern = strict_json(response.read())["patterns"][0]["itemset"]
+        urls = self._mixed_urls(hammer_server_url, pattern)
+        failures = []
+
+        def worker(offset: int) -> None:
+            for i in range(ITERATIONS):
+                url = urls[(offset + i) % len(urls)]
+                try:
+                    with urllib.request.urlopen(url, timeout=60) as response:
+                        body = response.read()
+                    payload = strict_json(body)  # raises on Infinity/NaN
+                    assert "error" not in payload, payload
+                    assert b"Infinity" not in body and b"NaN" not in body
+                except Exception as exc:
+                    failures.append((url, repr(exc)))
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures[:5]
+
+    def test_metrics_report_traffic_after_hammer(self, hammer_server_url):
+        with urllib.request.urlopen(
+            hammer_server_url + "/api/metrics", timeout=60
+        ) as response:
+            snap = strict_json(response.read())
+        counters = snap["counters"]
+        histograms = snap["histograms"]
+        # Cache counters surfaced (hit + miss activity from the hammer).
+        assert counters.get("mining_cache.misses", 0) >= 1
+        assert counters.get("app_cache.hits", 0) >= 1
+        assert counters.get("app_cache.evictions", 0) >= 1
+        # Per-endpoint latency histograms with percentiles.
+        explore = histograms["http./api/explore.seconds"]
+        assert explore["count"] >= 1
+        for percentile in ("p50", "p90", "p99"):
+            assert explore[percentile] is not None
+        # Status-code counters.
+        assert counters.get("http./api/explore.status.200", 0) >= 1
+
+    def test_concurrent_app_state_entry_race(self):
+        """Direct AppState hammering (no HTTP): one result per key."""
+        state = AppState(seed=0, max_results=2)
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                for support in (0.2, 0.3, 0.2, 0.4, 0.2):
+                    results.append(state.result("compas", "fpr", support))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(state._cache) <= 2
