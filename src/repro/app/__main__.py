@@ -10,8 +10,28 @@ def main() -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds "
+        "(overridable per request via ?deadline= or X-Deadline)",
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="expensive requests admitted at once; excess load is shed "
+        "with 503 + Retry-After",
+    )
     args = parser.parse_args()
-    server = create_server(args.host, args.port, seed=args.seed)
+    server = create_server(
+        args.host,
+        args.port,
+        seed=args.seed,
+        default_deadline=args.deadline,
+        max_concurrent=args.max_concurrent,
+    )
     host, port = server.server_address[:2]
     print(f"DivExplorer server on http://{host}:{port}/ (Ctrl-C to stop)")
     try:

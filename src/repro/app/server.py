@@ -19,6 +19,26 @@ become ``null``, so responses are always strictly valid JSON
 (``JSON.parse``-safe — ``json.dumps`` would otherwise emit bare
 ``Infinity``/``NaN`` tokens). The server is a stock
 ``ThreadingHTTPServer``; run it with ``python -m repro.app``.
+
+Resilience (see ``docs/resilience.md``):
+
+- Per-request deadlines: ``deadline`` query parameter or ``X-Deadline``
+  header (seconds), falling back to the server-wide default
+  (``--deadline``). Expensive work runs inside a
+  :func:`repro.resilience.cancel_scope`, so mining and the lattice
+  kernels abort cooperatively; an expired deadline yields a structured
+  ``504`` payload (``{"error", "timeout": true, "deadline"}``) — or a
+  *degraded* ``200`` re-serving a cached coarser-support exploration of
+  the same dataset/metric, marked ``{"degraded": true,
+  "requested_support", "served_support"}``.
+- Backpressure: at most ``max_concurrent`` expensive requests run at
+  once (admission is a non-blocking semaphore); excess load is shed
+  with ``503`` + ``Retry-After``. Cheap endpoints (``/``,
+  ``/api/datasets``, ``/api/metrics``) are exempt so health checks and
+  dashboards keep working under load.
+- Counters ``resilience.timeouts`` / ``resilience.shed`` /
+  ``resilience.degraded`` / ``resilience.cancelled`` surface in
+  ``/api/metrics``.
 """
 
 from __future__ import annotations
@@ -44,7 +64,8 @@ from repro.core.result import PatternDivergenceResult
 from repro.datasets import DATASET_NAMES, dataset_characteristics, load
 from repro.exceptions import ReproError
 from repro.obs import get_registry
-from repro.params import validate_epsilon, validate_support
+from repro.params import validate_deadline, validate_epsilon, validate_support
+from repro.resilience import CancellationError, DeadlineExceeded, cancel_scope
 
 _INDEX_HTML = """<!doctype html>
 <html><head><title>DivExplorer</title>
@@ -120,10 +141,22 @@ class AppState:
     """
 
     MAX_RESULTS = 32
+    MAX_CONCURRENT = 8
 
-    def __init__(self, seed: int = 0, max_results: int = MAX_RESULTS) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        max_results: int = MAX_RESULTS,
+        default_deadline: float | None = None,
+        max_concurrent: int = MAX_CONCURRENT,
+    ) -> None:
         self.seed = seed
         self.max_results = max(1, max_results)
+        self.default_deadline = validate_deadline(default_deadline)
+        self.max_concurrent = max(1, int(max_concurrent))
+        # Admission ticket pool for expensive endpoints; Bounded so a
+        # mismatched release fails loudly instead of widening the gate.
+        self.admission = threading.BoundedSemaphore(self.max_concurrent)
         self._cache: OrderedDict[tuple, _CachedExploration] = OrderedDict()
         self._explorers: dict[str, DivergenceExplorer] = {}
         self._lock = threading.Lock()
@@ -214,6 +247,21 @@ class AppState:
         """Explore (and cache) one configuration."""
         return self._entry(dataset, metric, support).result
 
+    def coarser_support(
+        self, dataset: str, metric: str, support: float
+    ) -> float | None:
+        """Smallest cached support strictly above ``support`` for the
+        same dataset/metric — the best degraded substitute when the
+        requested exploration timed out (higher support ⇒ fewer
+        patterns ⇒ already-mined, strictly cheaper result)."""
+        with self._lock:
+            candidates = [
+                key[2]
+                for key in self._cache
+                if key[0] == dataset and key[1] == metric and key[2] > support
+            ]
+        return min(candidates, default=None)
+
     def explore_rows(
         self,
         dataset: str,
@@ -244,6 +292,7 @@ class AppState:
                 "support": _json_safe(r.support),
                 "divergence": _json_safe(r.divergence),
                 "t": _json_safe(r.t_statistic),
+                "t_signed": _json_safe(r.t_signed),
             }
             for r in records
         ]
@@ -324,35 +373,177 @@ class _Handler(BaseHTTPRequestHandler):
         registry.counter(f"http.{path}.status.{status}").inc()
         registry.histogram(f"http.{path}.seconds").observe(elapsed)
 
+    # Endpoints cheap enough to bypass admission control: health/UI,
+    # static characteristics and the metrics dashboard must stay
+    # reachable even when every mining slot is busy.
+    _CHEAP_PATHS = frozenset({"/", "/api/datasets", "/api/metrics"})
+
+    # Endpoints eligible for degraded (coarser-support) fallback when
+    # their deadline expires mid-exploration.
+    _DEGRADABLE_PATHS = frozenset(
+        {
+            "/api/explore",
+            "/api/shapley",
+            "/api/explain",
+            "/api/global",
+            "/api/corrective",
+            "/api/lattice",
+        }
+    )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         self._start_request(parsed.path)
+        deadline: float | None = None
         try:
-            if parsed.path == "/":
-                self._send_html(_INDEX_HTML)
-            elif parsed.path == "/api/datasets":
-                self._send_json({"datasets": dataset_characteristics()})
-            elif parsed.path == "/api/explore":
-                self._send_json(self._explore(params))
-            elif parsed.path == "/api/shapley":
-                self._send_json(self._shapley(params))
-            elif parsed.path == "/api/explain":
-                self._send_json(self._explain(params))
-            elif parsed.path == "/api/global":
-                self._send_json(self._global(params))
-            elif parsed.path == "/api/corrective":
-                self._send_json(self._corrective(params))
-            elif parsed.path == "/api/lattice":
-                self._send_json(self._lattice(params))
-            elif parsed.path == "/api/metrics":
-                self._send_json(self._metrics())
-            else:
-                self._send_json({"error": f"unknown path {parsed.path}"}, 404)
+            deadline = self._deadline(params)
+            if not self._admit(parsed.path):
+                return  # shed: the 503 has already been sent
+            try:
+                with cancel_scope(deadline=deadline):
+                    self._dispatch(parsed.path, params)
+            finally:
+                self._release()
+        except DeadlineExceeded as exc:
+            self._handle_deadline(exc, parsed.path, params, deadline)
+        except CancellationError as exc:
+            # Cooperative cancellation that is not a deadline (token /
+            # fault injection). Must precede ReproError: cancellation is
+            # a service condition, not a client error.
+            get_registry().counter("resilience.cancelled").inc()
+            self._send_json(
+                {"error": str(exc), "cancelled": True},
+                503,
+                headers={"Retry-After": "1"},
+            )
         except ReproError as exc:
             self._send_json({"error": str(exc)}, 400)
         except (KeyError, ValueError) as exc:
             self._send_json({"error": f"bad request: {exc}"}, 400)
+
+    def _dispatch(self, path: str, params: dict[str, str]) -> None:
+        if path == "/":
+            self._send_html(_INDEX_HTML)
+        elif path == "/api/datasets":
+            self._send_json({"datasets": dataset_characteristics()})
+        elif path == "/api/explore":
+            self._send_json(self._explore(params))
+        elif path == "/api/shapley":
+            self._send_json(self._shapley(params))
+        elif path == "/api/explain":
+            self._send_json(self._explain(params))
+        elif path == "/api/global":
+            self._send_json(self._global(params))
+        elif path == "/api/corrective":
+            self._send_json(self._corrective(params))
+        elif path == "/api/lattice":
+            self._send_json(self._lattice(params))
+        elif path == "/api/metrics":
+            self._send_json(self._metrics())
+        else:
+            self._send_json({"error": f"unknown path {path}"}, 404)
+
+    # -- resilience ----------------------------------------------------
+
+    def _deadline(self, params: dict[str, str]) -> float | None:
+        """Per-request deadline: query param, then header, then the
+        server default. Raises :class:`ReproError` (→ 400) on junk."""
+        raw = params.get("deadline")
+        if raw is None:
+            raw = self.headers.get("X-Deadline")
+        if raw is None:
+            return self._state.default_deadline
+        return validate_deadline(raw)
+
+    def _admit(self, path: str) -> bool:
+        """Non-blocking admission for expensive endpoints.
+
+        Returns ``False`` after sending ``503`` + ``Retry-After`` when
+        every slot is busy (the request was shed).
+        """
+        self._admitted = False
+        if path in self._CHEAP_PATHS or path not in self._KNOWN_PATHS:
+            return True  # cheap or 404: no ticket needed
+        if self._state.admission.acquire(blocking=False):
+            self._admitted = True
+            return True
+        get_registry().counter("resilience.shed").inc()
+        self._send_json(
+            {
+                "error": "server at capacity; retry shortly",
+                "shed": True,
+            },
+            503,
+            headers={"Retry-After": "1"},
+        )
+        return False
+
+    def _release(self) -> None:
+        if getattr(self, "_admitted", False):
+            self._admitted = False
+            self._state.admission.release()
+
+    def _handle_deadline(
+        self,
+        exc: DeadlineExceeded,
+        path: str,
+        params: dict[str, str],
+        deadline: float | None,
+    ) -> None:
+        """Deadline expiry: degrade to a cached coarser-support result
+        when one exists, otherwise a structured ``504`` timeout."""
+        registry = get_registry()
+        registry.counter("resilience.timeouts").inc()
+        degraded = self._degraded_payload(path, params)
+        if degraded is not None:
+            registry.counter("resilience.degraded").inc()
+            self._send_json(degraded)
+            return
+        payload: dict = {"error": str(exc), "timeout": True}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        self._send_json(payload, 504, headers={"Retry-After": "1"})
+
+    def _degraded_payload(
+        self, path: str, params: dict[str, str]
+    ) -> dict | None:
+        """Re-dispatch against the nearest cached coarser support.
+
+        Serving an already-mined exploration of the same dataset/metric
+        at a higher support threshold is strictly cheaper (its pattern
+        set is a subset), so the fallback answers fast without entering
+        the miners again. Returns ``None`` when nothing degradable is
+        cached — the caller then sends the structured timeout.
+        """
+        if path not in self._DEGRADABLE_PATHS:
+            return None
+        try:
+            dataset, metric, support = self._config(params)
+        except ReproError:
+            return None
+        served = self._state.coarser_support(dataset, metric, support)
+        if served is None:
+            return None
+        substituted = dict(params, support=repr(served))
+        try:
+            payload = self._endpoint(path)(substituted)
+        except (ReproError, KeyError, ValueError):
+            return None
+        payload["degraded"] = True
+        payload["requested_support"] = support
+        payload["served_support"] = served
+        return payload
+
+    def _endpoint(self, path: str):
+        return {
+            "/api/explore": self._explore,
+            "/api/shapley": self._shapley,
+            "/api/explain": self._explain,
+            "/api/global": self._global,
+            "/api/corrective": self._corrective,
+            "/api/lattice": self._lattice,
+        }[path]
 
     # ------------------------------------------------------------------
 
@@ -365,21 +556,35 @@ class _Handler(BaseHTTPRequestHandler):
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         self._start_request(parsed.path)
         try:
-            if parsed.path == "/api/upload":
-                length = int(self.headers.get("Content-Length", "0"))
-                if length <= 0:
-                    raise ReproError("empty upload body")
-                body = self.rfile.read(length).decode("utf-8")
-                handle = self._state.register_upload(
-                    params.get("name", "data"),
-                    body,
-                    params.get("true_column", "class"),
-                    params.get("pred_column", "pred"),
-                    bins=int(params.get("bins", "3")),
-                )
-                self._send_json({"dataset": handle})
-            else:
-                self._send_json({"error": f"unknown path {parsed.path}"}, 404)
+            if not self._admit(parsed.path):
+                return  # shed: the 503 has already been sent
+            try:
+                if parsed.path == "/api/upload":
+                    length = int(self.headers.get("Content-Length", "0"))
+                    if length <= 0:
+                        raise ReproError("empty upload body")
+                    body = self.rfile.read(length).decode("utf-8")
+                    handle = self._state.register_upload(
+                        params.get("name", "data"),
+                        body,
+                        params.get("true_column", "class"),
+                        params.get("pred_column", "pred"),
+                        bins=int(params.get("bins", "3")),
+                    )
+                    self._send_json({"dataset": handle})
+                else:
+                    self._send_json(
+                        {"error": f"unknown path {parsed.path}"}, 404
+                    )
+            finally:
+                self._release()
+        except CancellationError as exc:
+            get_registry().counter("resilience.cancelled").inc()
+            self._send_json(
+                {"error": str(exc), "cancelled": True},
+                503,
+                headers={"Retry-After": "1"},
+            )
         except ReproError as exc:
             self._send_json({"error": str(exc)}, 400)
         except (KeyError, ValueError, UnicodeDecodeError) as exc:
@@ -541,7 +746,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: dict,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         # The recursive sanitize pass is the last line of defense: no
         # response may carry bare Infinity/NaN tokens (invalid JSON),
         # and allow_nan=False turns any miss into a loud failure.
@@ -549,6 +759,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self._record_request(status)
@@ -568,15 +780,33 @@ def create_server(
     port: int = 0,
     seed: int = 0,
     max_results: int = AppState.MAX_RESULTS,
+    default_deadline: float | None = None,
+    max_concurrent: int = AppState.MAX_CONCURRENT,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the exploration server.
 
     ``port=0`` picks a free port; read it back from
     ``server.server_address``. ``max_results`` bounds the LRU result
-    cache.
+    cache. ``default_deadline`` (seconds) applies to every request that
+    does not set its own via the ``deadline`` query parameter or
+    ``X-Deadline`` header; ``max_concurrent`` bounds simultaneously
+    admitted expensive requests (excess load is shed with ``503``).
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.app_state = AppState(  # type: ignore[attr-defined]
-        seed=seed, max_results=max_results
+        seed=seed,
+        max_results=max_results,
+        default_deadline=default_deadline,
+        max_concurrent=max_concurrent,
     )
+    # Pre-register the resilience counters so /api/metrics shows them
+    # at zero before the first timeout/shed instead of omitting them.
+    registry = get_registry()
+    for name in (
+        "resilience.timeouts",
+        "resilience.shed",
+        "resilience.degraded",
+        "resilience.cancelled",
+    ):
+        registry.counter(name)
     return server

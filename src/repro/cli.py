@@ -31,7 +31,8 @@ from repro.exceptions import ReproError
 from repro.experiments.report import divergence_report
 from repro.experiments.tables import format_table
 from repro.obs import render_profile, span
-from repro.params import validate_epsilon, validate_support
+from repro.params import validate_deadline, validate_epsilon, validate_support
+from repro.resilience import DeadlineExceeded, cancel_scope
 from repro.tabular.discretize import discretize_table
 from repro.tabular.io import read_csv
 
@@ -47,14 +48,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-stage timing table after the command",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="abort the command after this many seconds "
+        "(cooperative; exit code 2 on expiry)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_profile_arg(p: argparse.ArgumentParser) -> None:
         # Accepted after the subcommand too; SUPPRESS keeps the
-        # subparser from clobbering a --profile given before it.
+        # subparser from clobbering a --profile/--deadline given
+        # before it.
         p.add_argument(
             "--profile",
             action="store_true",
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
+        p.add_argument(
+            "--deadline",
+            type=float,
             default=argparse.SUPPRESS,
             help=argparse.SUPPRESS,
         )
@@ -152,7 +167,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         _validate_args(args)
         with span(f"cli.{args.command}"):
-            _dispatch(args)
+            with cancel_scope(deadline=getattr(args, "deadline", None)):
+                _dispatch(args)
+    except DeadlineExceeded as exc:
+        # Must precede ReproError (its base): an expired budget is a
+        # distinct outcome, not a usage error.
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -175,6 +196,8 @@ def _validate_args(args: argparse.Namespace) -> None:
         args.support = validate_support(args.support)
     if getattr(args, "epsilon", None) is not None:
         args.epsilon = validate_epsilon(args.epsilon)
+    if getattr(args, "deadline", None) is not None:
+        args.deadline = validate_deadline(args.deadline)
 
 
 def _dispatch(args: argparse.Namespace) -> None:

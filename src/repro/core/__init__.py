@@ -29,7 +29,11 @@ from repro.core.pruning import prune_redundant, redundancy_margins
 from repro.core.result import PatternDivergenceResult, PatternRecord
 from repro.core.serialize import lattice_to_dot, result_from_json, result_to_json
 from repro.core.shapley import shapley_batch, shapley_contributions
-from repro.core.significance import beta_moments, welch_t_statistic
+from repro.core.significance import (
+    beta_moments,
+    welch_t_statistic,
+    welch_t_statistic_signed,
+)
 
 __all__ = [
     "ContinuousDivergenceExplorer",
@@ -61,4 +65,5 @@ __all__ = [
     "shapley_batch",
     "shapley_contributions",
     "welch_t_statistic",
+    "welch_t_statistic_signed",
 ]

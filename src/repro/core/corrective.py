@@ -27,6 +27,7 @@ from repro.core.items import Item, Itemset
 from repro.core.result import PatternDivergenceResult
 from repro.core.significance import beta_moments, welch_t_statistic
 from repro.obs import span
+from repro.resilience import checkpoint
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,7 @@ def find_corrective_items(
     """
     if k <= 0:
         return []
+    checkpoint("kernel.find_corrective_items")
     index = result.lattice_index()
     div = result.divergence_vector()
     rows = index.row_of_entry

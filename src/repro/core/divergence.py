@@ -28,6 +28,7 @@ from repro.exceptions import ReproError, SchemaError
 from repro.fpm.cache import MiningCache
 from repro.fpm.miner import mine_frequent
 from repro.fpm.transactions import ItemCatalog, TransactionDataset
+from repro.resilience import CancelToken, Deadline, cancel_scope, checkpoint
 from repro.tabular.table import Table
 
 
@@ -106,6 +107,8 @@ class DivergenceExplorer:
         algorithm: str = "bitset",
         max_length: int | None = None,
         use_cache: bool = True,
+        deadline: Deadline | float | None = None,
+        cancel_token: CancelToken | None = None,
     ) -> PatternDivergenceResult:
         """Run Algorithm 1 and return the full divergence table.
 
@@ -128,17 +131,33 @@ class DivergenceExplorer:
             (including monotone reuse: a cached run at support ``s``
             answers any ``s' >= s``). Disable to force a fresh mining
             run, e.g. when benchmarking.
+        deadline:
+            Optional wall-clock budget (seconds or
+            :class:`~repro.resilience.Deadline`). The mining loops
+            checkpoint cooperatively and raise
+            :class:`~repro.resilience.DeadlineExceeded` when it
+            expires mid-exploration. Adds to (never replaces) any
+            ambient :func:`~repro.resilience.cancel_scope`.
+        cancel_token:
+            Optional :class:`~repro.resilience.CancelToken` another
+            thread can trigger to abort the exploration cooperatively
+            (raises :class:`~repro.resilience.OperationCancelled`).
         """
-        dataset = self._dataset_for(metric)
-        if use_cache:
-            frequent = self.mining_cache.mine(
-                dataset, min_support, algorithm=algorithm, max_length=max_length
+        with cancel_scope(deadline=deadline, token=cancel_token):
+            checkpoint("explore")
+            dataset = self._dataset_for(metric)
+            if use_cache:
+                frequent = self.mining_cache.mine(
+                    dataset, min_support, algorithm=algorithm, max_length=max_length
+                )
+            else:
+                frequent = mine_frequent(
+                    dataset, min_support, algorithm=algorithm, max_length=max_length
+                )
+            checkpoint("explore.result")
+            return PatternDivergenceResult(
+                frequent, self.catalog, metric, min_support
             )
-        else:
-            frequent = mine_frequent(
-                dataset, min_support, algorithm=algorithm, max_length=max_length
-            )
-        return PatternDivergenceResult(frequent, self.catalog, metric, min_support)
 
     def _dataset_for(self, metric: str) -> TransactionDataset:
         """The transaction dataset for ``metric``, reused across calls.

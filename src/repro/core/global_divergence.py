@@ -30,6 +30,7 @@ from repro.core.items import Item, Itemset
 from repro.core.result import PatternDivergenceResult
 from repro.exceptions import ReproError
 from repro.obs import span
+from repro.resilience import checkpoint
 
 
 @span("kernel.global_item_divergence")
@@ -45,6 +46,7 @@ def global_item_divergence(
     elementwise multiply and one ``bincount`` scatter — no per-pattern
     hashing.
     """
+    checkpoint("kernel.global_item_divergence")
     index = result.lattice_index()
     div0 = result.divergence_vector(zero_nan=True)
     parent_div = np.where(

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.fpm.transactions import ItemCatalog
 from repro.obs import get_registry, span
+from repro.resilience import checkpoint
 
 # Sentinel used while sorting padded rows: real entries are ``id + 1``
 # (> 0) and padding is 0, so anything above every real id works.
@@ -75,6 +76,7 @@ class LatticeIndex:
     def _build(
         self, keys: Sequence[frozenset[int]], catalog: ItemCatalog
     ) -> None:
+        checkpoint("lattice_index.build")
         n = len(keys)
         self.n_table_rows = n
         self.lengths = np.fromiter(
@@ -128,6 +130,9 @@ class LatticeIndex:
             sub = padded[rows_k]
             zero_col = np.zeros((rows_k.size, 1), dtype=np.uint32)
             for j in range(k):
+                # One abort check per searchsorted batch keeps index
+                # construction on huge tables deadline-responsive.
+                checkpoint("lattice_index.parents")
                 candidate = np.concatenate(
                     [sub[:, :j], sub[:, j + 1 :], zero_col], axis=1
                 )

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.result import PatternDivergenceResult, PatternRecord
 from repro.exceptions import ReproError
 from repro.obs import span
+from repro.resilience import checkpoint
 
 
 def _sort_records(records: list[PatternRecord]) -> list[PatternRecord]:
@@ -47,6 +48,7 @@ def redundancy_margins(
     ``prunable[i] and margins[i] > ε`` — every ε of a sweep reuses these
     two arrays.
     """
+    checkpoint("kernel.redundancy_margins")
     index = result.lattice_index()
     div = result.divergence_vector()
     parent_div = np.where(

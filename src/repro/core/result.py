@@ -19,7 +19,10 @@ import numpy as np
 
 from repro.core.items import Item, Itemset
 from repro.core.outcomes import positive_rate
-from repro.core.significance import divergence_t_statistic, divergence_t_statistics
+from repro.core.significance import (
+    divergence_t_statistic_signed,
+    divergence_t_statistics,
+)
 from repro.exceptions import ReproError
 from repro.fpm.miner import FrequentItemsets
 from repro.fpm.transactions import ItemCatalog
@@ -27,7 +30,13 @@ from repro.fpm.transactions import ItemCatalog
 
 @dataclass(frozen=True)
 class PatternRecord:
-    """One row of the divergence table: an itemset with its statistics."""
+    """One row of the divergence table: an itemset with its statistics.
+
+    ``t_statistic`` is the Welch magnitude ``|t|`` the paper's tables
+    report; ``t_signed`` keeps the direction (same sign as the rate
+    difference of the posteriors) so serializations can distinguish
+    positive from negative divergence.
+    """
 
     itemset: Itemset
     support: float
@@ -37,6 +46,7 @@ class PatternRecord:
     rate: float
     divergence: float
     t_statistic: float
+    t_signed: float = float("nan")
 
     @property
     def length(self) -> int:
@@ -101,6 +111,7 @@ class PatternDivergenceResult:
         self._div_vector: np.ndarray | None = divergences
         self._div_vector_source: object = self._divergence
         self._t_stats: np.ndarray | None = None
+        self._t_stats_signed: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # itemset translation
@@ -136,6 +147,9 @@ class PatternDivergenceResult:
         counts = self.frequent.counts(key)
         n, t, f = int(counts[0]), int(counts[1]), int(counts[2])
         rate = positive_rate(t, f)
+        t_signed = divergence_t_statistic_signed(
+            t, f, self.t_total, self.f_total
+        )
         return PatternRecord(
             itemset=self.itemset_of(key),
             support=n / self.n_rows,
@@ -144,7 +158,8 @@ class PatternDivergenceResult:
             f_count=f,
             rate=rate,
             divergence=rate - self.global_rate,
-            t_statistic=divergence_t_statistic(t, f, self.t_total, self.f_total),
+            t_statistic=abs(t_signed),
+            t_signed=t_signed,
         )
 
     def record(self, itemset: Itemset) -> PatternRecord:
@@ -227,14 +242,24 @@ class PatternDivergenceResult:
     # the ranked pattern table
     # ------------------------------------------------------------------
 
-    def t_statistics_vector(self) -> np.ndarray:
-        """Welch t-statistic per table row (computed once, cached)."""
-        if self._t_stats is None:
+    def t_statistics_vector(self, signed: bool = False) -> np.ndarray:
+        """Welch t-statistic per table row (computed once, cached).
+
+        The default is the magnitude ``|t|`` the paper's tables report;
+        ``signed=True`` returns the direction-preserving statistics.
+        Both views share one underlying computation.
+        """
+        if self._t_stats_signed is None:
             counts = self._count_matrix
-            self._t_stats = divergence_t_statistics(
-                counts[:, 1], counts[:, 2], self.t_total, self.f_total
+            self._t_stats_signed = divergence_t_statistics(
+                counts[:, 1],
+                counts[:, 2],
+                self.t_total,
+                self.f_total,
+                signed=True,
             )
-        return self._t_stats
+            self._t_stats = np.abs(self._t_stats_signed)
+        return self._t_stats_signed if signed else self._t_stats
 
     def _record_for_row(self, row: int) -> PatternRecord:
         """Materialize one row's record from the columnar statistics."""
@@ -248,6 +273,7 @@ class PatternDivergenceResult:
             rate=self._rates[row],
             divergence=self._rates[row] - self.global_rate,
             t_statistic=self.t_statistics_vector()[row],
+            t_signed=self.t_statistics_vector(signed=True)[row],
         )
 
     def records_for_rows(self, rows: Iterable[int]) -> list[PatternRecord]:
@@ -273,6 +299,7 @@ class PatternDivergenceResult:
             supports = n_col / self.n_rows
             divergences = self._rates - self.global_rate
             t_stats = self.t_statistics_vector()
+            t_signed = self.t_statistics_vector(signed=True)
             self._records = [
                 PatternRecord(
                     itemset=self.itemset_of(key),
@@ -283,6 +310,7 @@ class PatternDivergenceResult:
                     rate=self._rates[i],
                     divergence=divergences[i],
                     t_statistic=t_stats[i],
+                    t_signed=t_signed[i],
                 )
                 for i, key in enumerate(self._keys)
             ]

@@ -35,43 +35,82 @@ def beta_moments(k_pos: int, k_neg: int) -> tuple[float, float]:
     return mean, variance
 
 
+def welch_t_statistic_signed(
+    mean_a: float, var_a: float, mean_b: float, var_b: float
+) -> float:
+    """Signed Welch's t-statistic ``(μ_a - μ_b) / sqrt(v_a + v_b)``.
+
+    The sign carries the direction of the divergence: positive when the
+    subset rate exceeds the reference rate, negative when it falls
+    below. Returns ``±inf`` when both variances are exactly zero but
+    the means differ, and ``0`` when means coincide.
+    """
+    diff = mean_a - mean_b
+    denom = math.sqrt(var_a + var_b)
+    if denom == 0:
+        return math.copysign(math.inf, diff) if diff != 0 else 0.0
+    return diff / denom
+
+
 def welch_t_statistic(
     mean_a: float, var_a: float, mean_b: float, var_b: float
 ) -> float:
-    """Welch's t-statistic ``|μ_a - μ_b| / sqrt(v_a + v_b)``.
+    """Welch's t-statistic magnitude ``|μ_a - μ_b| / sqrt(v_a + v_b)``.
 
+    The paper's tables report the magnitude; use
+    :func:`welch_t_statistic_signed` wherever direction matters.
     Returns ``inf`` when both variances are exactly zero but the means
     differ, and ``0`` when means coincide.
     """
-    diff = abs(mean_a - mean_b)
-    denom = math.sqrt(var_a + var_b)
-    if denom == 0:
-        return math.inf if diff > 0 else 0.0
-    return diff / denom
+    return abs(welch_t_statistic_signed(mean_a, var_a, mean_b, var_b))
+
+
+def divergence_t_statistic_signed(
+    k_pos_subset: int, k_neg_subset: int, k_pos_data: int, k_neg_data: int
+) -> float:
+    """Signed significance of a subset's rate vs. the dataset's rate.
+
+    Positive when the subset's posterior rate exceeds the dataset's
+    (positive divergence), negative when it falls below — so
+    significance columns can distinguish the direction of divergence.
+    """
+    mu_i, v_i = beta_moments(k_pos_subset, k_neg_subset)
+    mu_d, v_d = beta_moments(k_pos_data, k_neg_data)
+    return welch_t_statistic_signed(mu_i, v_i, mu_d, v_d)
 
 
 def divergence_t_statistic(
     k_pos_subset: int, k_neg_subset: int, k_pos_data: int, k_neg_data: int
 ) -> float:
-    """Significance of a subset's rate vs. the whole dataset's rate.
+    """Significance magnitude of a subset's rate vs. the dataset's rate.
 
     Convenience composition of :func:`beta_moments` and
     :func:`welch_t_statistic` used for the ``t`` columns of the paper's
-    tables.
+    tables (which report ``|t|``; the divergence column carries the
+    sign there).
     """
-    mu_i, v_i = beta_moments(k_pos_subset, k_neg_subset)
-    mu_d, v_d = beta_moments(k_pos_data, k_neg_data)
-    return welch_t_statistic(mu_i, v_i, mu_d, v_d)
+    return abs(
+        divergence_t_statistic_signed(
+            k_pos_subset, k_neg_subset, k_pos_data, k_neg_data
+        )
+    )
 
 
 def divergence_t_statistics(
-    k_pos: np.ndarray, k_neg: np.ndarray, k_pos_data: int, k_neg_data: int
+    k_pos: np.ndarray,
+    k_neg: np.ndarray,
+    k_pos_data: int,
+    k_neg_data: int,
+    signed: bool = False,
 ) -> np.ndarray:
     """Vectorized :func:`divergence_t_statistic` over count arrays.
 
     ``k_pos``/``k_neg`` are parallel arrays of subset counts; returns the
     float64 array of t-statistics, elementwise equal to the scalar form.
-    Used to build the whole divergence table in one shot.
+    With ``signed=True`` the statistics keep the direction of the
+    divergence (:func:`divergence_t_statistic_signed`); the default
+    magnitude form matches the paper's tables. Used to build the whole
+    divergence table in one shot.
     """
     k_pos = np.asarray(k_pos, dtype=np.float64)
     k_neg = np.asarray(k_neg, dtype=np.float64)
@@ -79,12 +118,14 @@ def divergence_t_statistics(
     mu = (k_pos + 1.0) / (total + 2.0)
     var = (k_pos + 1.0) * (k_neg + 1.0) / ((total + 2.0) ** 2 * (total + 3.0))
     mu_d, var_d = beta_moments(k_pos_data, k_neg_data)
-    diff = np.abs(mu - mu_d)
+    diff = mu - mu_d
     denom = np.sqrt(var + var_d)
     # Beta variances are strictly positive, so denom > 0 always; the
-    # guard mirrors welch_t_statistic exactly anyway.
+    # guard mirrors welch_t_statistic_signed exactly anyway.
     with np.errstate(divide="ignore", invalid="ignore"):
         out = np.where(
-            denom == 0.0, np.where(diff > 0.0, np.inf, 0.0), diff / denom
+            denom == 0.0,
+            np.where(diff > 0.0, np.inf, np.where(diff < 0.0, -np.inf, 0.0)),
+            diff / denom,
         )
-    return out
+    return out if signed else np.abs(out)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.fpm.miner import FrequentItemsets, ItemsetKey, Miner
 from repro.fpm.transactions import TransactionDataset, popcount
+from repro.resilience import checkpoint
 
 
 class AprioriMiner(Miner):
@@ -67,6 +68,9 @@ class AprioriMiner(Miner):
             groups.setdefault(key[:-1], []).append(key)
         frequent_keys = set(keys)
         for members in groups.values():
+            # One abort check per prefix group bounds the time between
+            # checkpoints by a single join block.
+            checkpoint("fpm.apriori.level")
             for i, left in enumerate(members):
                 for right in members[i + 1 :]:
                     a, b = left[-1], right[-1]

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.fpm.miner import FrequentItemsets, ItemsetKey, Miner
 from repro.fpm.transactions import TransactionDataset
+from repro.resilience import checkpoint
 
 
 class BruteForceMiner(Miner):
@@ -38,6 +39,7 @@ class BruteForceMiner(Miner):
         masks = [dataset.item_mask(i) for i in range(catalog.n_items)]
         for size in range(1, limit + 1):
             for attrs in combinations(range(n_attrs), size):
+                checkpoint("fpm.bruteforce")
                 id_ranges = [
                     range(int(catalog.offsets[j]), int(catalog.offsets[j + 1]))
                     for j in attrs

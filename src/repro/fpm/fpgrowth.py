@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.fpm.miner import FrequentItemsets, ItemsetKey, Miner
 from repro.fpm.transactions import TransactionDataset
+from repro.resilience import checkpoint
 
 
 class _Node:
@@ -117,6 +118,8 @@ class FPGrowthMiner(Miner):
         channels = dataset.channels
         grouped: dict[tuple[int, ...], list[int]] = {}
         for r in range(n):
+            if r % 4096 == 0:
+                checkpoint("fpm.fpgrowth.build")
             row = [it for it in item_matrix[r] if it in order]
             row.sort(key=order.__getitem__)
             key = tuple(row)
@@ -144,6 +147,7 @@ class FPGrowthMiner(Miner):
         out: dict[ItemsetKey, np.ndarray],
     ) -> None:
         """Recursive pattern growth over conditional trees."""
+        checkpoint("fpm.fpgrowth.grow")
         if max_length is not None and len(suffix) >= max_length:
             return
         path = tree.single_path()
@@ -196,6 +200,8 @@ class FPGrowthMiner(Miner):
         n_path = len(frequent)
         budget = None if max_length is None else max_length - len(suffix)
         for mask in range(1, 1 << n_path):
+            if mask % 4096 == 0:
+                checkpoint("fpm.fpgrowth.emit")
             size = mask.bit_count()
             if budget is not None and size > budget:
                 continue

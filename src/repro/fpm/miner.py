@@ -17,6 +17,7 @@ import numpy as np
 from repro.exceptions import MiningError
 from repro.fpm.transactions import TransactionDataset
 from repro.obs import get_registry, span
+from repro.resilience import checkpoint
 
 ItemsetKey = frozenset[int]
 
@@ -170,6 +171,9 @@ def mine_frequent(
         raise MiningError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(miners)}"
         ) from None
+    # Abort before mining starts when the ambient deadline is already
+    # spent (e.g. an earlier stage consumed the whole request budget).
+    checkpoint(f"fpm.mine.{algorithm}")
     # Every backend is timed and counted through the same funnel, so
     # /api/metrics and --profile attribute mining cost per algorithm.
     with span(f"fpm.mine.{algorithm}"):

@@ -23,6 +23,7 @@ from typing import Any
 import numpy as np
 
 from repro.fpm.miner import ItemsetKey
+from repro.resilience import checkpoint
 
 # expand(prefix_coverage, last_column, sibling_items, sibling_coverages)
 # returns the surviving extensions as parallel sequences
@@ -67,6 +68,9 @@ def depth_first_mine(
             )
         )
     while stack:
+        # Cooperative abort point: one check per expanded node keeps
+        # deep lattices responsive to deadlines/cancellation.
+        checkpoint("fpm.dfs")
         prefix, coverage, sibling_items, sibling_coverages = stack.pop()
         if len(sibling_items) == 0:
             continue

@@ -14,7 +14,12 @@ import math
 
 from repro.exceptions import ReproError
 
-__all__ = ["validate_support", "validate_epsilon", "validate_top"]
+__all__ = [
+    "validate_deadline",
+    "validate_epsilon",
+    "validate_support",
+    "validate_top",
+]
 
 
 def validate_support(value: float | str) -> float:
@@ -42,6 +47,26 @@ def validate_epsilon(value: float | str | None) -> float | None:
     if math.isnan(epsilon) or epsilon < 0.0:
         raise ReproError(f"epsilon must be >= 0, got {value!r}")
     return epsilon
+
+
+def validate_deadline(value: float | str | None) -> float | None:
+    """Coerce and check a deadline budget: positive, finite seconds.
+
+    ``None`` means no deadline (run to completion).
+    """
+    if value is None:
+        return None
+    try:
+        deadline = float(value)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"deadline must be a number of seconds, got {value!r}"
+        ) from None
+    if math.isnan(deadline) or math.isinf(deadline) or deadline <= 0.0:
+        raise ReproError(
+            f"deadline must be a positive finite number of seconds, got {value!r}"
+        )
+    return deadline
 
 
 def validate_top(value: int | str, minimum: int = 1) -> int:

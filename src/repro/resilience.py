@@ -1,0 +1,290 @@
+"""Cooperative deadlines, cancellation and fault injection.
+
+The paper positions DivExplorer as an *interactive* tool (Sec. 6.3
+reports sub-minute exhaustive exploration precisely so analysts can
+iterate live), which means long-running explorations must be abortable:
+a low-support request must not pin a server thread inside FP-growth
+forever. Python threads cannot be killed, so cancellation here is
+cooperative — the hot loops (mining backends, the lattice-index build,
+the vectorized kernels) call :func:`checkpoint` at natural step
+boundaries, and a checkpoint raises a typed error when the ambient
+:class:`CancelScope` has an expired :class:`Deadline` or a cancelled
+:class:`CancelToken`.
+
+The scope is carried in a :mod:`contextvars` context variable rather
+than threaded through every function signature: each server worker
+thread (and each CLI invocation) installs its own scope with
+:func:`cancel_scope`, and every checkpoint downstream of that frame
+observes it. Scopes nest — an inner scope inherits the constraints of
+its parents, so a tighter inner deadline can only shorten, never
+extend, the outer budget.
+
+Fault injection (:func:`inject_fault`) piggybacks on the same
+checkpoints: a registered fault can slow matching phases down (forced
+slow mining, to exercise deadlines deterministically in tests) or force
+a cancellation after N checkpoints (to exercise mid-phase aborts). With
+no faults registered and no active scope, a checkpoint is two global
+reads — cheap enough for per-node use in the mining loops.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import math
+import threading
+import time
+from collections.abc import Iterator
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "CancelScope",
+    "CancelToken",
+    "CancellationError",
+    "Deadline",
+    "DeadlineExceeded",
+    "OperationCancelled",
+    "cancel_scope",
+    "checkpoint",
+    "current_scope",
+    "inject_fault",
+]
+
+
+class CancellationError(ReproError):
+    """Base class for cooperative-abort errors (deadline or cancel)."""
+
+
+class DeadlineExceeded(CancellationError):
+    """The ambient deadline expired before the operation finished."""
+
+
+class OperationCancelled(CancellationError):
+    """The ambient cancel token was triggered mid-operation."""
+
+
+class Deadline:
+    """A wall-clock budget measured against the monotonic clock.
+
+    Created from a positive, finite number of seconds; the budget
+    starts counting at construction time.
+    """
+
+    __slots__ = ("seconds", "_expires_at")
+
+    def __init__(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if not math.isfinite(seconds) or seconds <= 0:
+            raise ReproError(
+                f"deadline must be a positive number of seconds, got {seconds!r}"
+            )
+        self.seconds = seconds
+        self._expires_at = time.monotonic() + seconds
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """Alias constructor reading like ``Deadline.after(0.5)``."""
+        return cls(seconds)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self._expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def __repr__(self) -> str:
+        return f"Deadline(seconds={self.seconds:g}, remaining={self.remaining():.3f})"
+
+
+class CancelToken:
+    """Thread-safe manual cancellation flag.
+
+    One side holds the token and calls :meth:`cancel`; the working side
+    observes it through :func:`checkpoint` (or :attr:`cancelled`
+    directly).
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason or "cancelled"
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        return f"CancelToken(cancelled={self.cancelled})"
+
+
+class CancelScope:
+    """One installed deadline/token pair, linked to its enclosing scope."""
+
+    __slots__ = ("deadline", "token", "parent")
+
+    def __init__(
+        self,
+        deadline: Deadline | None,
+        token: CancelToken | None,
+        parent: "CancelScope | None",
+    ) -> None:
+        self.deadline = deadline
+        self.token = token
+        self.parent = parent
+
+    def check(self, phase: str = "") -> None:
+        """Raise if this scope or any enclosing scope demands an abort."""
+        where = phase or "execution"
+        scope: CancelScope | None = self
+        while scope is not None:
+            token = scope.token
+            if token is not None and token.cancelled:
+                raise OperationCancelled(
+                    f"operation cancelled ({token.reason}) during {where}"
+                )
+            deadline = scope.deadline
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"deadline of {deadline.seconds:g}s exceeded during {where}"
+                )
+            scope = scope.parent
+
+    def remaining(self) -> float | None:
+        """Tightest remaining budget across this scope chain (None = unbounded)."""
+        best: float | None = None
+        scope: CancelScope | None = self
+        while scope is not None:
+            if scope.deadline is not None:
+                left = scope.deadline.remaining()
+                if best is None or left < best:
+                    best = left
+            scope = scope.parent
+        return best
+
+
+_SCOPE: contextvars.ContextVar[CancelScope | None] = contextvars.ContextVar(
+    "repro_cancel_scope", default=None
+)
+
+
+def current_scope() -> CancelScope | None:
+    """The innermost active scope of this thread/context, if any."""
+    return _SCOPE.get()
+
+
+@contextlib.contextmanager
+def cancel_scope(
+    deadline: Deadline | float | None = None,
+    token: CancelToken | None = None,
+) -> Iterator[CancelScope]:
+    """Install a deadline and/or cancel token for the enclosed block.
+
+    ``deadline`` may be a :class:`Deadline` or a plain number of
+    seconds. Every :func:`checkpoint` reached inside the block (on this
+    thread) observes the scope; nested scopes also observe all
+    enclosing ones.
+    """
+    if deadline is not None and not isinstance(deadline, Deadline):
+        deadline = Deadline(deadline)
+    scope = CancelScope(deadline, token, _SCOPE.get())
+    handle = _SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _SCOPE.reset(handle)
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+
+
+class _Fault:
+    """One injected fault: matches checkpoint phases by prefix."""
+
+    __slots__ = ("prefix", "delay", "cancel_after", "_seen", "_lock")
+
+    def __init__(
+        self, prefix: str, delay: float, cancel_after: int | None
+    ) -> None:
+        self.prefix = prefix
+        self.delay = delay
+        self.cancel_after = cancel_after
+        self._seen = 0
+        self._lock = threading.Lock()
+
+    def apply(self, phase: str) -> None:
+        if not phase.startswith(self.prefix):
+            return
+        if self.delay > 0:
+            time.sleep(self.delay)
+        if self.cancel_after is not None:
+            with self._lock:
+                self._seen += 1
+                fire = self._seen >= self.cancel_after
+            if fire:
+                raise OperationCancelled(
+                    f"fault injection cancelled phase {phase!r} "
+                    f"after {self._seen} checkpoints"
+                )
+
+
+_FAULTS: list[_Fault] = []
+_FAULTS_LOCK = threading.Lock()
+# Fast-path flag: checkpoints skip the fault table entirely when no
+# fault is registered (the common case, including all of production).
+_FAULTS_ACTIVE = False
+
+
+@contextlib.contextmanager
+def inject_fault(
+    phase_prefix: str,
+    delay: float = 0.0,
+    cancel_after: int | None = None,
+) -> Iterator[None]:
+    """Register a test fault for checkpoints whose phase matches.
+
+    ``delay`` sleeps that many seconds at every matching checkpoint
+    (forced slow mining — makes deadline expiry deterministic without
+    huge datasets). ``cancel_after=N`` raises
+    :class:`OperationCancelled` at the N-th matching checkpoint (forced
+    mid-phase cancellation). Faults are process-global and removed when
+    the context exits; they are test hooks, not production controls.
+    """
+    global _FAULTS_ACTIVE
+    fault = _Fault(phase_prefix, float(delay), cancel_after)
+    with _FAULTS_LOCK:
+        _FAULTS.append(fault)
+        _FAULTS_ACTIVE = True
+    try:
+        yield
+    finally:
+        with _FAULTS_LOCK:
+            _FAULTS.remove(fault)
+            _FAULTS_ACTIVE = bool(_FAULTS)
+
+
+def checkpoint(phase: str = "") -> None:
+    """Cooperative abort point; call at natural step boundaries.
+
+    Applies any matching injected faults, then raises
+    :class:`DeadlineExceeded` / :class:`OperationCancelled` when the
+    ambient scope chain demands an abort. With no faults and no active
+    scope this is two global reads — safe to call per mining node.
+    """
+    if _FAULTS_ACTIVE:
+        with _FAULTS_LOCK:
+            faults = list(_FAULTS)
+        for fault in faults:
+            fault.apply(phase)
+    scope = _SCOPE.get()
+    if scope is not None:
+        scope.check(phase)

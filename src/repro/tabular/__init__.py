@@ -7,6 +7,7 @@ DivExplorer needs: typed columns backed by numpy arrays, a schema-aware
 
 from repro.tabular.column import CategoricalColumn, Column, ContinuousColumn
 from repro.tabular.discretize import (
+    MISSING_LABEL,
     BinSpec,
     discretize_column,
     discretize_table,
@@ -22,6 +23,7 @@ __all__ = [
     "CategoricalColumn",
     "Column",
     "ContinuousColumn",
+    "MISSING_LABEL",
     "Table",
     "discretize_column",
     "discretize_table",

@@ -134,15 +134,20 @@ class CategoricalColumn(Column):
 
 
 class ContinuousColumn(Column):
-    """A raw float-valued column, to be discretized before mining."""
+    """A raw float-valued column, to be discretized before mining.
+
+    ``NaN`` values are admitted and denote *missing* observations; they
+    are resolved at discretization time according to
+    :attr:`repro.tabular.discretize.BinSpec.on_missing` (binned into an
+    explicit ``"missing"`` category or rejected with an error). They
+    never silently join a numeric bin.
+    """
 
     def __init__(self, name: str, values: np.ndarray | Sequence[float]) -> None:
         super().__init__(name)
         arr = np.asarray(values, dtype=np.float64)
         if arr.ndim != 1:
             raise SchemaError(f"column {name!r}: values must be 1-dimensional")
-        if np.isnan(arr).any():
-            raise SchemaError(f"column {name!r}: NaN values are not supported")
         self.values = arr
 
     def __len__(self) -> int:
@@ -154,17 +159,28 @@ class ContinuousColumn(Column):
     def values_as_objects(self) -> list[Any]:
         return [float(v) for v in self.values]
 
+    def n_missing(self) -> int:
+        """Number of missing (``NaN``) values."""
+        return int(np.isnan(self.values).sum())
+
     def min(self) -> float:
-        """Minimum value (raises on empty column)."""
-        if not len(self):
-            raise SchemaError(f"column {self.name!r} is empty")
-        return float(self.values.min())
+        """Minimum non-missing value (raises on empty/all-NaN column)."""
+        return float(self._observed("min").min())
 
     def max(self) -> float:
-        """Maximum value (raises on empty column)."""
+        """Maximum non-missing value (raises on empty/all-NaN column)."""
+        return float(self._observed("max").max())
+
+    def _observed(self, what: str) -> np.ndarray:
+        """The non-NaN values, for NaN-insensitive aggregates."""
         if not len(self):
             raise SchemaError(f"column {self.name!r} is empty")
-        return float(self.values.max())
+        observed = self.values[~np.isnan(self.values)]
+        if not observed.size:
+            raise SchemaError(
+                f"column {self.name!r}: cannot take {what} of all-missing values"
+            )
+        return observed
 
     def __repr__(self) -> str:
         return f"ContinuousColumn({self.name!r}, n={len(self)})"

@@ -7,10 +7,16 @@ the binning strategies used in the paper's experiments — quantile
 (equal-frequency), uniform (equal-width), and explicit user-provided
 edges — plus human-readable interval labels such as ``"25-45"`` or
 ``">45"`` matching the paper's pattern notation.
+
+Missing values (``NaN``) never silently join a numeric bin:
+``BinSpec.on_missing`` either routes them to an explicit ``"missing"``
+category (the default) or rejects the column with a
+:class:`~repro.exceptions.DiscretizationError`.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -19,6 +25,10 @@ import numpy as np
 from repro.exceptions import DiscretizationError
 from repro.tabular.column import CategoricalColumn, ContinuousColumn
 from repro.tabular.table import Table
+
+#: Category label assigned to missing (NaN) values under
+#: ``on_missing="label"``.
+MISSING_LABEL = "missing"
 
 
 @dataclass(frozen=True)
@@ -32,12 +42,19 @@ class BinSpec:
     - ``method="edges"`` with explicit interior ``edges``.
 
     ``labels`` optionally overrides the auto-generated interval labels.
+
+    ``on_missing`` decides what happens to ``NaN`` values:
+
+    - ``"label"`` (default): NaN rows get a dedicated ``"missing"``
+      category appended after the interval bins;
+    - ``"error"``: any NaN raises :class:`DiscretizationError`.
     """
 
     method: str = "quantile"
     bins: int = 3
     edges: tuple[float, ...] = field(default_factory=tuple)
     labels: tuple[str, ...] = field(default_factory=tuple)
+    on_missing: str = "label"
 
     def __post_init__(self) -> None:
         if self.method not in ("quantile", "uniform", "edges"):
@@ -46,6 +63,29 @@ class BinSpec:
             raise DiscretizationError("bins must be >= 2")
         if self.method == "edges" and not self.edges:
             raise DiscretizationError("method='edges' requires explicit edges")
+        if self.on_missing not in ("label", "error"):
+            raise DiscretizationError(
+                f"on_missing must be 'label' or 'error', got {self.on_missing!r}"
+            )
+
+
+def _observed(values: np.ndarray, name: str = "") -> np.ndarray:
+    """The non-NaN values; edge computation must ignore missing rows,
+    otherwise ``np.quantile``/``min``/``max`` propagate NaN into edges."""
+    arr = np.asarray(values, dtype=float)
+    observed = arr[~np.isnan(arr)]
+    if not observed.size:
+        where = f"column {name!r}: " if name else ""
+        raise DiscretizationError(
+            f"{where}no non-missing values to compute bin edges from"
+        )
+    return observed
+
+
+def _raw_quantiles(values: np.ndarray, bins: int) -> np.ndarray:
+    """The ``bins - 1`` interior quantiles, duplicates included."""
+    qs = np.linspace(0, 1, bins + 1)[1:-1]
+    return np.quantile(_observed(values), qs)
 
 
 def quantile_edges(values: np.ndarray, bins: int) -> list[float]:
@@ -53,10 +93,9 @@ def quantile_edges(values: np.ndarray, bins: int) -> list[float]:
 
     Duplicate quantiles (heavy ties) are collapsed so the resulting bins
     are strictly increasing; the effective number of bins may therefore
-    be smaller than requested.
+    be smaller than requested. Missing (NaN) values are ignored.
     """
-    qs = np.linspace(0, 1, bins + 1)[1:-1]
-    edges = np.quantile(np.asarray(values, dtype=float), qs)
+    edges = _raw_quantiles(values, bins)
     unique: list[float] = []
     for e in edges:
         if not unique or e > unique[-1]:
@@ -65,8 +104,11 @@ def quantile_edges(values: np.ndarray, bins: int) -> list[float]:
 
 
 def uniform_edges(values: np.ndarray, bins: int) -> list[float]:
-    """Interior edges of equal-width bins over ``values``."""
-    arr = np.asarray(values, dtype=float)
+    """Interior edges of equal-width bins over ``values``.
+
+    Missing (NaN) values are ignored.
+    """
+    arr = _observed(values)
     lo, hi = float(arr.min()), float(arr.max())
     if hi <= lo:
         return []
@@ -92,32 +134,86 @@ def format_interval_labels(edges: Sequence[float]) -> list[str]:
     return labels
 
 
+def _reconcile_labels(
+    column: ContinuousColumn, spec: BinSpec, edges: list[float]
+) -> list[str]:
+    """User labels (validated against the *effective* bins) or auto labels.
+
+    Quantile binning may collapse duplicate edges, so the effective bin
+    count can be lower than ``spec.bins``; a user who sized ``labels``
+    for the requested count gets an error that names the collapsed
+    edges instead of a bare count mismatch.
+    """
+    if not spec.labels:
+        return format_interval_labels(edges)
+    labels = list(spec.labels)
+    expected = len(edges) + 1
+    if len(labels) == expected:
+        return labels
+    if spec.method == "quantile" and len(labels) == spec.bins:
+        raw = _raw_quantiles(column.values, spec.bins)
+        collapsed = sorted(
+            {float(e) for e, n in Counter(raw.tolist()).items() if n > 1}
+        )
+        raise DiscretizationError(
+            f"column {column.name!r}: {len(labels)} labels were given for the "
+            f"{spec.bins} requested quantile bins, but tied values collapsed "
+            f"duplicate edge(s) {collapsed} leaving only {expected} effective "
+            f"bins; pass {expected} labels or choose different binning"
+        )
+    raise DiscretizationError(
+        f"column {column.name!r}: {len(labels)} labels for {expected} bins"
+    )
+
+
 def discretize_column(column: ContinuousColumn, spec: BinSpec) -> CategoricalColumn:
     """Discretize one continuous column according to ``spec``.
 
     Returns a categorical column with interval labels as categories.
     Values are assigned via ``searchsorted`` on interior edges, i.e. the
     bin of value ``v`` is ``#edges < v`` (left-open intervals except the
-    first).
+    first). Missing (NaN) values are handled per ``spec.on_missing``:
+    appended as a dedicated ``"missing"`` category (default) or rejected
+    with :class:`DiscretizationError` — never silently placed in the
+    top bin.
     """
+    values = np.asarray(column.values, dtype=float)
+    missing = np.isnan(values)
+    n_missing = int(missing.sum())
+    if n_missing and spec.on_missing == "error":
+        raise DiscretizationError(
+            f"column {column.name!r}: {n_missing} missing (NaN) value(s) and "
+            "on_missing='error'; drop or impute them, or use "
+            "on_missing='label' to bin them as a 'missing' category"
+        )
+
     if spec.method == "quantile":
-        edges = quantile_edges(column.values, spec.bins)
+        edges = quantile_edges(values, spec.bins)
     elif spec.method == "uniform":
-        edges = uniform_edges(column.values, spec.bins)
+        edges = uniform_edges(values, spec.bins)
     else:
         edges = sorted(float(e) for e in spec.edges)
         if len(set(edges)) != len(edges):
             raise DiscretizationError(
                 f"column {column.name!r}: duplicate explicit edges {edges}"
             )
-    labels = list(spec.labels) if spec.labels else format_interval_labels(edges)
-    expected = len(edges) + 1
-    if len(labels) != expected:
+    labels = _reconcile_labels(column, spec, edges)
+
+    codes = np.searchsorted(
+        np.asarray(edges, dtype=float), values, side="left"
+    ).astype(np.int32)
+    if not n_missing:
+        return CategoricalColumn(column.name, codes, labels)
+
+    if MISSING_LABEL in labels:
         raise DiscretizationError(
-            f"column {column.name!r}: {len(labels)} labels for {expected} bins"
+            f"column {column.name!r}: label {MISSING_LABEL!r} collides with "
+            "the reserved missing-value category"
         )
-    codes = np.searchsorted(np.asarray(edges, dtype=float), column.values, side="left")
-    return CategoricalColumn(column.name, codes.astype(np.int32), labels)
+    # NaN compares false with every edge, so searchsorted dumps it in the
+    # top bin; reroute those rows to the dedicated trailing category.
+    codes[missing] = len(labels)
+    return CategoricalColumn(column.name, codes, labels + [MISSING_LABEL])
 
 
 def discretize_table(

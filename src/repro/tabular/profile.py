@@ -40,12 +40,16 @@ def profile_table(table: Table, top_categories: int = 3) -> list[dict[str, objec
             )
         else:
             cont = table.continuous(name)
-            if len(cont):
-                values = cont.values
+            observed = cont.values[~np.isnan(cont.values)]
+            if observed.size:
                 summary = (
-                    f"min {values.min():g}, median {np.median(values):g}, "
-                    f"max {values.max():g}"
+                    f"min {observed.min():g}, median {np.median(observed):g}, "
+                    f"max {observed.max():g}"
                 )
+                if missing := len(cont) - observed.size:
+                    summary += f", {missing} missing"
+            elif len(cont):
+                summary = "(all missing)"
             else:
                 summary = "(empty)"
             rows.append(

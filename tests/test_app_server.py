@@ -46,7 +46,7 @@ class TestEndpoints:
         assert 0 < data["global_rate"] < 1
         assert len(data["patterns"]) == 5
         top = data["patterns"][0]
-        assert set(top) == {"itemset", "support", "divergence", "t"}
+        assert set(top) == {"itemset", "support", "divergence", "t", "t_signed"}
         # ranked by divergence
         divs = [p["divergence"] for p in data["patterns"]]
         assert divs == sorted(divs, reverse=True)

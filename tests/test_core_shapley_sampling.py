@@ -71,6 +71,73 @@ class TestConvergence:
         assert a == b
 
 
+def _pattern_of_length(result, n):
+    """A frequent pattern with exactly ``n`` items (skip if none)."""
+    for rec in result.records():
+        if rec.length == n:
+            return rec.itemset
+    pytest.skip(f"no frequent pattern of length {n}")
+
+
+class TestExactFallbackBoundary:
+    """The estimator switches to the closed form exactly when
+    ``|I|! <= n_samples`` (and always for ``|I| <= 2``)."""
+
+    def test_five_items_at_factorial_boundary_is_exact(self, wide_result):
+        pattern = _pattern_of_length(wide_result, 5)
+        exact = shapley_contributions(wide_result, pattern)
+        # 5! = 120: enumeration is no more work than sampling, so the
+        # result must be bit-identical to the closed form.
+        at_boundary = shapley_contributions_sampled(
+            wide_result, pattern, n_samples=120, seed=9
+        )
+        assert at_boundary == exact
+
+    def test_five_items_below_boundary_samples(self, wide_result):
+        pattern = _pattern_of_length(wide_result, 5)
+        exact = shapley_contributions(wide_result, pattern)
+        sampled = shapley_contributions_sampled(
+            wide_result, pattern, n_samples=119, seed=9
+        )
+        # one permutation short of 5!: the Monte-Carlo path runs, so the
+        # estimate carries sampling noise ...
+        assert sampled != exact
+        # ... but efficiency still holds exactly (telescoping marginals)
+        assert sum(sampled.values()) == pytest.approx(
+            sum(exact.values()), abs=1e-9
+        )
+
+    def test_five_items_sampled_close_to_exact(self, wide_result):
+        pattern = _pattern_of_length(wide_result, 5)
+        exact = shapley_contributions(wide_result, pattern)
+        sampled = shapley_contributions_sampled(
+            wide_result, pattern, n_samples=4000, seed=2
+        )
+        for item, value in exact.items():
+            assert sampled[item] == pytest.approx(value, abs=0.02)
+
+    def test_two_items_exact_even_with_one_sample(self, wide_result):
+        pattern = _pattern_of_length(wide_result, 2)
+        exact = shapley_contributions(wide_result, pattern)
+        assert (
+            shapley_contributions_sampled(wide_result, pattern, n_samples=1)
+            == exact
+        )
+
+    def test_boundary_is_seed_invariant(self, wide_result):
+        # On the exact path the seed must not matter at all.
+        pattern = _pattern_of_length(wide_result, 5)
+        a = shapley_contributions_sampled(wide_result, pattern, 120, seed=0)
+        b = shapley_contributions_sampled(wide_result, pattern, 120, seed=42)
+        assert a == b
+
+    def test_sampling_is_seed_deterministic(self, wide_result):
+        pattern = _pattern_of_length(wide_result, 5)
+        a = shapley_contributions_sampled(wide_result, pattern, 60, seed=5)
+        b = shapley_contributions_sampled(wide_result, pattern, 60, seed=5)
+        assert a == b
+
+
 class TestValidation:
     def test_empty_itemset(self, wide_result):
         assert shapley_contributions_sampled(wide_result, Itemset()) == {}

@@ -7,10 +7,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy import stats
 
+import numpy as np
+
 from repro.core.significance import (
     beta_moments,
     divergence_t_statistic,
+    divergence_t_statistic_signed,
+    divergence_t_statistics,
     welch_t_statistic,
+    welch_t_statistic_signed,
 )
 
 
@@ -85,3 +90,59 @@ class TestDivergenceT:
         # be strongly significant (paper Table 2 reports t around 7).
         t = divergence_t_statistic(250, 550, 400, 4100)
         assert t > 5
+
+
+class TestSignedWelch:
+    def test_sign_follows_direction(self):
+        assert welch_t_statistic_signed(0.5, 0.01, 0.3, 0.03) > 0
+        assert welch_t_statistic_signed(0.3, 0.03, 0.5, 0.01) < 0
+
+    def test_antisymmetric(self):
+        fwd = welch_t_statistic_signed(0.2, 0.01, 0.5, 0.02)
+        rev = welch_t_statistic_signed(0.5, 0.02, 0.2, 0.01)
+        assert fwd == -rev
+
+    def test_magnitude_is_abs_of_signed(self):
+        for a, va, b, vb in [(0.5, 0.01, 0.3, 0.03), (0.1, 0.02, 0.9, 0.04)]:
+            assert welch_t_statistic(a, va, b, vb) == abs(
+                welch_t_statistic_signed(a, va, b, vb)
+            )
+
+    def test_signed_infinities(self):
+        assert welch_t_statistic_signed(0.3, 0.0, 0.2, 0.0) == math.inf
+        assert welch_t_statistic_signed(0.2, 0.0, 0.3, 0.0) == -math.inf
+        assert welch_t_statistic_signed(0.3, 0.0, 0.3, 0.0) == 0.0
+
+
+class TestSignedDivergenceT:
+    def test_sign_matches_rate_direction(self):
+        # subset rate above the dataset rate → positive t.
+        assert divergence_t_statistic_signed(60, 40, 400, 4100) > 0
+        # subset rate below the dataset rate → negative t.
+        assert divergence_t_statistic_signed(4, 96, 400, 600) < 0
+
+    def test_magnitude_matches_unsigned(self):
+        for counts in [(6, 4, 500, 500), (250, 550, 400, 4100), (5, 95, 500, 500)]:
+            assert divergence_t_statistic(*counts) == abs(
+                divergence_t_statistic_signed(*counts)
+            )
+
+    def test_vectorized_signed_matches_scalar(self):
+        k_pos = np.array([0, 6, 60, 250, 4])
+        k_neg = np.array([0, 4, 40, 550, 96])
+        signed = divergence_t_statistics(k_pos, k_neg, 400, 4100, signed=True)
+        unsigned = divergence_t_statistics(k_pos, k_neg, 400, 4100)
+        for i in range(k_pos.size):
+            scalar = divergence_t_statistic_signed(
+                int(k_pos[i]), int(k_neg[i]), 400, 4100
+            )
+            assert signed[i] == pytest.approx(scalar, rel=1e-12)
+            assert unsigned[i] == pytest.approx(abs(scalar), rel=1e-12)
+
+    def test_vectorized_default_is_magnitude(self):
+        k_pos = np.array([1, 90])
+        k_neg = np.array([99, 10])
+        out = divergence_t_statistics(k_pos, k_neg, 50, 50)
+        assert (out >= 0).all()
+        signed = divergence_t_statistics(k_pos, k_neg, 50, 50, signed=True)
+        assert signed[0] < 0 < signed[1]

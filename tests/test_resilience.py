@@ -1,0 +1,245 @@
+"""Unit tests for repro.resilience: deadlines, cancellation, faults.
+
+Covers the primitives (Deadline / CancelToken / CancelScope /
+checkpoint), the fault-injection hooks, and the cooperative abort
+points threaded through every mining backend, the lattice kernels and
+``DivergenceExplorer.explore``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.corrective import find_corrective_items
+from repro.core.divergence import DivergenceExplorer
+from repro.core.global_divergence import global_item_divergence
+from repro.core.pruning import redundancy_margins
+from repro.exceptions import ReproError
+from repro.fpm.miner import mine_frequent
+from repro.resilience import (
+    CancellationError,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    OperationCancelled,
+    cancel_scope,
+    checkpoint,
+    current_scope,
+    inject_fault,
+)
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+from tests.conftest import make_random_dataset
+
+BACKENDS = ["bitset", "fpgrowth", "apriori", "eclat", "bruteforce"]
+
+# Phase prefixes each backend's inner loop checkpoints under; used to
+# prove the abort happens mid-loop, not just at the mine_frequent gate.
+BACKEND_PHASES = {
+    "bitset": "fpm.dfs",
+    "eclat": "fpm.dfs",
+    "fpgrowth": "fpm.fpgrowth",
+    "apriori": "fpm.apriori",
+    "bruteforce": "fpm.bruteforce",
+}
+
+
+def build_explorer(seed: int = 0, n: int = 400) -> DivergenceExplorer:
+    rng = np.random.default_rng(seed)
+    cols = [
+        CategoricalColumn(f"a{j}", rng.integers(0, 3, n), [0, 1, 2])
+        for j in range(4)
+    ]
+    truth = rng.integers(0, 2, n)
+    pred = np.where(rng.random(n) < 0.2, 1 - truth, truth)
+    cols.append(CategoricalColumn("class", truth, [0, 1]))
+    cols.append(CategoricalColumn("pred", pred, [0, 1]))
+    return DivergenceExplorer(Table(cols), "class", "pred")
+
+
+class TestDeadline:
+    def test_rejects_nonpositive_and_nonfinite(self):
+        for bad in (0, -1, float("inf"), float("nan")):
+            with pytest.raises(ReproError):
+                Deadline(bad)
+
+    def test_remaining_counts_down(self):
+        deadline = Deadline.after(60)
+        first = deadline.remaining()
+        assert 0 < first <= 60
+        assert deadline.remaining() <= first
+        assert not deadline.expired
+
+    def test_expires(self):
+        deadline = Deadline(0.005)
+        time.sleep(0.02)
+        assert deadline.expired
+        assert deadline.remaining() < 0
+
+
+class TestCancelToken:
+    def test_starts_clear(self):
+        assert not CancelToken().cancelled
+
+    def test_cancel_records_reason(self):
+        token = CancelToken()
+        token.cancel("user closed tab")
+        assert token.cancelled
+        assert token.reason == "user closed tab"
+
+
+class TestScopeAndCheckpoint:
+    def test_checkpoint_is_noop_without_scope(self):
+        assert current_scope() is None
+        checkpoint("anything")  # must not raise
+
+    def test_expired_deadline_raises_with_phase(self):
+        with cancel_scope(deadline=0.005):
+            time.sleep(0.02)
+            with pytest.raises(DeadlineExceeded, match="fpm.test"):
+                checkpoint("fpm.test")
+
+    def test_cancelled_token_raises_with_reason(self):
+        token = CancelToken()
+        with cancel_scope(token=token):
+            checkpoint("ok")
+            token.cancel("shutdown")
+            with pytest.raises(OperationCancelled, match="shutdown"):
+                checkpoint("late")
+
+    def test_scope_restored_on_exit(self):
+        with cancel_scope(deadline=60):
+            assert current_scope() is not None
+        assert current_scope() is None
+        checkpoint("after")  # no residue
+
+    def test_nested_scope_sees_outer_constraints(self):
+        outer_token = CancelToken()
+        with cancel_scope(token=outer_token):
+            with cancel_scope(deadline=60):
+                outer_token.cancel()
+                with pytest.raises(OperationCancelled):
+                    checkpoint("inner")
+
+    def test_inner_deadline_tightens_budget(self):
+        with cancel_scope(deadline=60) as outer:
+            assert outer.remaining() <= 60
+            with cancel_scope(deadline=1) as inner:
+                assert inner.remaining() <= 1
+
+    def test_error_taxonomy(self):
+        # The server maps ReproError to 400, so cancellation errors must
+        # be distinguishable *before* that clause — but still ReproError
+        # so the CLI's blanket handler never leaks a traceback.
+        assert issubclass(DeadlineExceeded, CancellationError)
+        assert issubclass(OperationCancelled, CancellationError)
+        assert issubclass(CancellationError, ReproError)
+
+
+class TestFaultInjection:
+    def test_delay_slows_matching_checkpoints(self):
+        with inject_fault("slow.phase", delay=0.03):
+            start = time.perf_counter()
+            checkpoint("slow.phase.step")
+            elapsed = time.perf_counter() - start
+        assert elapsed >= 0.03
+
+    def test_nonmatching_prefix_untouched(self):
+        with inject_fault("slow.phase", delay=5.0):
+            start = time.perf_counter()
+            checkpoint("other.phase")
+            assert time.perf_counter() - start < 1.0
+
+    def test_cancel_after_nth_checkpoint(self):
+        with inject_fault("fpm.x", cancel_after=3):
+            checkpoint("fpm.x")
+            checkpoint("fpm.x")
+            with pytest.raises(OperationCancelled, match="after 3"):
+                checkpoint("fpm.x")
+
+    def test_fault_removed_on_exit(self):
+        with inject_fault("fpm.y", cancel_after=1):
+            pass
+        checkpoint("fpm.y")  # must not raise
+
+
+class TestMiningAbort:
+    @pytest.mark.parametrize("algorithm", BACKENDS)
+    def test_deadline_aborts_backend(self, algorithm):
+        dataset = make_random_dataset(0, n_rows=200, n_attrs=5)
+        with inject_fault(BACKEND_PHASES[algorithm], delay=0.01):
+            with cancel_scope(deadline=0.02):
+                with pytest.raises(DeadlineExceeded):
+                    mine_frequent(dataset, 0.01, algorithm=algorithm)
+
+    @pytest.mark.parametrize("algorithm", BACKENDS)
+    def test_fault_cancels_backend_mid_loop(self, algorithm):
+        dataset = make_random_dataset(1, n_rows=200, n_attrs=5)
+        with inject_fault(BACKEND_PHASES[algorithm], cancel_after=2):
+            with pytest.raises(OperationCancelled):
+                mine_frequent(dataset, 0.01, algorithm=algorithm)
+
+    def test_unconstrained_mining_still_works(self):
+        dataset = make_random_dataset(2)
+        frequent = mine_frequent(dataset, 0.1)
+        assert frozenset() in frequent
+
+
+class TestExploreResilience:
+    def test_deadline_param_aborts_explore(self):
+        explorer = build_explorer()
+        with inject_fault("fpm", delay=0.01):
+            with pytest.raises(DeadlineExceeded):
+                explorer.explore("fpr", min_support=0.01, deadline=0.02)
+
+    def test_cancel_token_param_aborts_explore(self):
+        explorer = build_explorer()
+        token = CancelToken()
+        token.cancel("caller gave up")
+        with pytest.raises(OperationCancelled, match="caller gave up"):
+            explorer.explore("fpr", min_support=0.1, cancel_token=token)
+
+    def test_explorer_usable_after_abort(self):
+        explorer = build_explorer()
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(OperationCancelled):
+            explorer.explore("fpr", min_support=0.1, cancel_token=token)
+        result = explorer.explore("fpr", min_support=0.1)
+        assert len(result) > 0
+        assert current_scope() is None
+
+    def test_ambient_scope_reaches_explore(self):
+        explorer = build_explorer()
+        with inject_fault("fpm", delay=0.01):
+            with cancel_scope(deadline=0.02):
+                with pytest.raises(DeadlineExceeded):
+                    explorer.explore("fpr", min_support=0.01, use_cache=False)
+
+
+class TestKernelCheckpoints:
+    """The vectorized lattice kernels observe the ambient scope too."""
+
+    def _expired_scope(self):
+        scope = cancel_scope(deadline=0.001)
+        return scope
+
+    @pytest.fixture()
+    def result(self):
+        return build_explorer(seed=3).explore("fpr", min_support=0.05)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            lambda r: global_item_divergence(r),
+            lambda r: redundancy_margins(r),
+            lambda r: find_corrective_items(r, k=5),
+            lambda r: r.lattice_index(),
+        ],
+    )
+    def test_kernel_aborts_under_expired_deadline(self, result, kernel):
+        with cancel_scope(deadline=0.001):
+            time.sleep(0.005)
+            with pytest.raises(DeadlineExceeded):
+                kernel(result)

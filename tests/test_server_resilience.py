@@ -1,0 +1,247 @@
+"""Server resilience tests: deadlines, load shedding, degradation.
+
+Uses the fault-injection hooks (``repro.resilience.inject_fault``) to
+make mining deterministically slow or cancellable: the server threads
+run in-process, so process-global faults reach them. The concurrent
+hammer machinery mirrors ``test_server_concurrency.py``: while one
+request times out mid-mining, other endpoints must keep returning
+valid strict JSON.
+"""
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.app.server import create_server
+from repro.resilience import inject_fault
+from tests.test_server_concurrency import strict_json
+
+MAX_CONCURRENT = 2
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = create_server(port=0, seed=0, max_concurrent=MAX_CONCURRENT)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def fetch(url: str, headers: dict | None = None, timeout: float = 60):
+    """GET returning ``(status, payload, response_headers)``; non-2xx
+    responses are returned, not raised."""
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, strict_json(response.read()), response.headers
+    except urllib.error.HTTPError as err:
+        return err.code, strict_json(err.read()), err.headers
+
+
+class TestDeadlineValidation:
+    @pytest.mark.parametrize("bad", ["banana", "-1", "0", "nan", "inf"])
+    def test_bad_deadline_param_is_400(self, base_url, bad):
+        status, payload, _ = fetch(
+            base_url
+            + f"/api/explore?dataset=compas&support=0.25&deadline={bad}"
+        )
+        assert status == 400
+        assert "deadline" in payload["error"]
+
+    def test_bad_x_deadline_header_is_400(self, base_url):
+        status, payload, _ = fetch(
+            base_url + "/api/explore?dataset=compas&support=0.25",
+            headers={"X-Deadline": "junk"},
+        )
+        assert status == 400
+        assert "deadline" in payload["error"]
+
+    def test_generous_deadline_serves_normally(self, base_url):
+        status, payload, _ = fetch(
+            base_url
+            + "/api/explore?dataset=compas&support=0.25&deadline=60"
+        )
+        assert status == 200
+        assert payload["patterns"]
+        assert "degraded" not in payload
+
+    def test_generous_header_deadline_serves_normally(self, base_url):
+        status, payload, _ = fetch(
+            base_url + "/api/explore?dataset=compas&support=0.25",
+            headers={"X-Deadline": "60"},
+        )
+        assert status == 200
+        assert payload["patterns"]
+
+
+class TestTimeout:
+    def test_expired_deadline_times_out_within_twice_the_budget(
+        self, base_url
+    ):
+        """A request whose deadline expires mid-mining answers with a
+        structured timeout payload in ~deadline time — while concurrent
+        traffic on other endpoints keeps getting valid JSON."""
+        deadline = 0.25
+        hammer_stop = threading.Event()
+        hammer_failures: list = []
+
+        def hammer():
+            urls = [
+                base_url + "/api/datasets",
+                base_url + "/api/metrics",
+                base_url + "/api/explore?dataset=compas&support=0.25",
+            ]
+            i = 0
+            while not hammer_stop.is_set():
+                status, payload, _ = fetch(urls[i % len(urls)])
+                if status != 200 or "error" in payload:
+                    hammer_failures.append((urls[i % len(urls)], status))
+                    return
+                i += 1
+
+        hammer_thread = threading.Thread(target=hammer)
+        hammer_thread.start()
+        try:
+            # support=0.04 is uncached → real mining; every fpm
+            # checkpoint sleeps, so the budget expires mid-mining.
+            with inject_fault("fpm", delay=0.02):
+                start = time.perf_counter()
+                status, payload, _ = fetch(
+                    base_url
+                    + "/api/explore?dataset=compas&metric=fnr"
+                    + f"&support=0.04&deadline={deadline}"
+                )
+                elapsed = time.perf_counter() - start
+        finally:
+            hammer_stop.set()
+            hammer_thread.join()
+
+        assert status == 504
+        assert payload["timeout"] is True
+        assert payload["deadline"] == deadline
+        assert "deadline" in payload["error"]
+        assert elapsed < 2 * deadline
+        assert not hammer_failures, hammer_failures[:3]
+
+    def test_fault_cancellation_mid_phase_is_503(self, base_url):
+        with inject_fault("fpm.dfs", cancel_after=2):
+            status, payload, headers = fetch(
+                base_url
+                + "/api/explore?dataset=compas&metric=fpr&support=0.03"
+            )
+        assert status == 503
+        assert payload["cancelled"] is True
+        assert headers["Retry-After"] == "1"
+
+
+class TestDegradation:
+    def test_timeout_degrades_to_cached_coarser_support(self, base_url):
+        # Pre-warm a coarser (higher-support, cheaper) exploration.
+        # metric=error is untouched by the other tests in this module,
+        # so the 0.3 entry is the only degradation candidate.
+        status, warm, _ = fetch(
+            base_url + "/api/explore?dataset=compas&metric=error&support=0.3"
+        )
+        assert status == 200
+        # Same dataset/metric at a finer support with an impossible
+        # budget: mining times out, but the cached 0.3 run substitutes.
+        with inject_fault("fpm", delay=0.02):
+            status, payload, _ = fetch(
+                base_url
+                + "/api/explore?dataset=compas&metric=error"
+                + "&support=0.05&deadline=0.2"
+            )
+        assert status == 200
+        assert payload["degraded"] is True
+        assert payload["requested_support"] == 0.05
+        assert payload["served_support"] == 0.3
+        assert payload["patterns"] == warm["patterns"]
+
+    def test_no_cached_fallback_means_504(self, base_url):
+        # fnr at any support is colder than this unique value; nothing
+        # coarser is cached for (german, fnr), so no degradation.
+        with inject_fault("fpm", delay=0.02):
+            status, payload, _ = fetch(
+                base_url
+                + "/api/explore?dataset=german&metric=fnr"
+                + "&support=0.06&deadline=0.2"
+            )
+        assert status == 504
+        assert payload["timeout"] is True
+
+
+class TestShedding:
+    def test_exhausted_admission_sheds_with_503(self, server, base_url):
+        state = server.app_state
+        for _ in range(MAX_CONCURRENT):
+            assert state.admission.acquire(blocking=False)
+        try:
+            status, payload, headers = fetch(
+                base_url + "/api/explore?dataset=compas&support=0.25"
+            )
+            assert status == 503
+            assert payload["shed"] is True
+            assert headers["Retry-After"] == "1"
+        finally:
+            for _ in range(MAX_CONCURRENT):
+                state.admission.release()
+
+    def test_cheap_endpoints_exempt_from_shedding(self, server, base_url):
+        state = server.app_state
+        for _ in range(MAX_CONCURRENT):
+            assert state.admission.acquire(blocking=False)
+        try:
+            for path in ("/api/metrics", "/api/datasets"):
+                status, payload, _ = fetch(base_url + path)
+                assert status == 200
+                assert "error" not in payload
+        finally:
+            for _ in range(MAX_CONCURRENT):
+                state.admission.release()
+
+    def test_admission_recovers_after_release(self, base_url):
+        status, payload, _ = fetch(
+            base_url + "/api/explore?dataset=compas&support=0.25"
+        )
+        assert status == 200
+        assert payload["patterns"]
+
+
+class TestResilienceMetrics:
+    def test_counters_surface_in_metrics(self, base_url):
+        # Runs after the suites above, which exercised every path.
+        status, snap, _ = fetch(base_url + "/api/metrics")
+        assert status == 200
+        counters = snap["counters"]
+        assert counters["resilience.timeouts"] >= 1
+        assert counters["resilience.shed"] >= 1
+        assert counters["resilience.degraded"] >= 1
+        assert counters["resilience.cancelled"] >= 1
+
+    def test_counters_present_even_when_zero(self):
+        # A fresh server pre-registers the counters so dashboards see
+        # them at zero rather than missing.
+        srv = create_server(port=0, seed=1)
+        try:
+            from repro.obs import get_registry
+
+            counters = get_registry().snapshot()["counters"]
+            for name in (
+                "resilience.timeouts",
+                "resilience.shed",
+                "resilience.degraded",
+                "resilience.cancelled",
+            ):
+                assert name in counters
+        finally:
+            srv.server_close()

@@ -86,9 +86,17 @@ class TestContinuousColumn:
         with pytest.raises(SchemaError):
             col.min()
 
-    def test_rejects_nan(self):
+    def test_nan_admitted_as_missing(self):
+        col = ContinuousColumn("v", [1.0, float("nan"), 3.0])
+        assert col.n_missing() == 1
+        # Aggregates ignore missing values instead of propagating NaN.
+        assert col.min() == 1.0
+        assert col.max() == 3.0
+
+    def test_all_missing_aggregate_raises(self):
+        col = ContinuousColumn("v", [float("nan"), float("nan")])
         with pytest.raises(SchemaError):
-            ContinuousColumn("v", [1.0, float("nan")])
+            col.min()
 
     def test_rejects_2d(self):
         with pytest.raises(SchemaError):

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.exceptions import DiscretizationError
 from repro.tabular.column import ContinuousColumn
 from repro.tabular.discretize import (
+    MISSING_LABEL,
     BinSpec,
     discretize_column,
     discretize_table,
@@ -16,6 +17,8 @@ from repro.tabular.discretize import (
     uniform_edges,
 )
 from repro.tabular.table import Table
+
+NAN = float("nan")
 
 
 class TestBinSpec:
@@ -30,6 +33,10 @@ class TestBinSpec:
     def test_edges_method_requires_edges(self):
         with pytest.raises(DiscretizationError):
             BinSpec(method="edges")
+
+    def test_rejects_unknown_on_missing(self):
+        with pytest.raises(DiscretizationError):
+            BinSpec(on_missing="impute")
 
 
 class TestEdges:
@@ -114,6 +121,106 @@ class TestDiscretizeColumn:
         codes = out.codes
         order = np.argsort(values, kind="stable")
         assert (np.diff(codes[order]) >= 0).all()
+
+
+class TestMissingValues:
+    """NaN must never silently land in a numeric bin (it used to sail
+    through ``searchsorted`` into the top bin)."""
+
+    def test_nan_not_in_top_bin(self):
+        col = ContinuousColumn("v", [1.0, 2.0, 3.0, 4.0, NAN])
+        out = discretize_column(col, BinSpec(method="edges", edges=(2.5,)))
+        decoded = out.values_as_objects()
+        top_label = ">2.5"
+        assert decoded[:4] == ["<=2.5", "<=2.5", top_label, top_label]
+        assert decoded[4] == MISSING_LABEL  # regression: was top_label
+
+    def test_missing_category_appended_last(self):
+        col = ContinuousColumn("v", [1.0, NAN, 3.0])
+        out = discretize_column(col, BinSpec(method="edges", edges=(2.0,)))
+        assert out.categories[-1] == MISSING_LABEL
+
+    def test_no_missing_category_without_nan(self):
+        col = ContinuousColumn("v", [1.0, 3.0])
+        out = discretize_column(col, BinSpec(method="edges", edges=(2.0,)))
+        assert MISSING_LABEL not in out.categories
+
+    def test_on_missing_error_raises(self):
+        col = ContinuousColumn("v", [1.0, NAN, 3.0])
+        spec = BinSpec(method="edges", edges=(2.0,), on_missing="error")
+        with pytest.raises(DiscretizationError, match="missing"):
+            discretize_column(col, spec)
+
+    def test_quantile_edges_ignore_nan(self):
+        values = np.arange(100.0)
+        with_nan = np.concatenate([values, [NAN] * 10])
+        assert quantile_edges(with_nan, 4) == quantile_edges(values, 4)
+
+    def test_uniform_edges_ignore_nan(self):
+        assert uniform_edges(np.array([0.0, NAN, 10.0]), 5) == [
+            2.0,
+            4.0,
+            6.0,
+            8.0,
+        ]
+
+    def test_all_missing_column_rejected(self):
+        col = ContinuousColumn("v", [NAN, NAN])
+        with pytest.raises(DiscretizationError):
+            discretize_column(col, BinSpec(method="quantile", bins=2))
+
+    def test_quantile_binning_of_nan_column(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 1, 200)
+        values[::7] = NAN
+        col = ContinuousColumn("v", values)
+        out = discretize_column(col, BinSpec(method="quantile", bins=3))
+        decoded = out.values_as_objects()
+        n_missing = int(np.isnan(values).sum())
+        assert decoded.count(MISSING_LABEL) == n_missing
+        # finite rows keep the binning computed from finite values only
+        finite = values[~np.isnan(values)]
+        reference = discretize_column(
+            ContinuousColumn("v", finite), BinSpec(method="quantile", bins=3)
+        ).values_as_objects()
+        assert [d for d in decoded if d != MISSING_LABEL] == reference
+
+    def test_user_label_colliding_with_missing_rejected(self):
+        col = ContinuousColumn("v", [1.0, NAN])
+        spec = BinSpec(
+            method="edges", edges=(2.0,), labels=("low", MISSING_LABEL)
+        )
+        with pytest.raises(DiscretizationError, match="reserved"):
+            discretize_column(col, spec)
+
+
+class TestQuantileLabelCollapse:
+    """User labels sized for the *requested* bins must produce an error
+    that explains the quantile-tie collapse, not a bare count mismatch."""
+
+    TIED = [1.0] * 90 + [2.0] * 10  # quartile edges all collapse to 1.0
+
+    def test_error_names_collapsed_edges(self):
+        col = ContinuousColumn("v", self.TIED)
+        spec = BinSpec(method="quantile", bins=4, labels=("a", "b", "c", "d"))
+        with pytest.raises(DiscretizationError, match="collapsed") as err:
+            discretize_column(col, spec)
+        message = str(err.value)
+        assert "1.0" in message  # the duplicated edge is named
+        assert "2 effective" in message  # and the effective bin count
+
+    def test_labels_for_effective_bins_accepted(self):
+        col = ContinuousColumn("v", self.TIED)
+        spec = BinSpec(method="quantile", bins=4, labels=("lo", "hi"))
+        out = discretize_column(col, spec)
+        assert out.categories == ["lo", "hi"]
+        assert out.values_as_objects() == ["lo"] * 90 + ["hi"] * 10
+
+    def test_plain_mismatch_message_unchanged(self):
+        col = ContinuousColumn("v", [1.0, 2.0, 3.0])
+        spec = BinSpec(method="edges", edges=(2.0,), labels=("only",))
+        with pytest.raises(DiscretizationError, match="1 labels for 2 bins"):
+            discretize_column(col, spec)
 
 
 class TestDiscretizeTable:
