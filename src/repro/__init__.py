@@ -39,6 +39,13 @@ from repro.core.pruning import prune_redundant
 from repro.core.result import PatternDivergenceResult, PatternRecord
 from repro.core.shapley import shapley_batch, shapley_contributions
 from repro.exceptions import ReproError
+from repro.stream import (
+    DivergenceMonitor,
+    DriftAlert,
+    DriftConfig,
+    DriftInjection,
+    StreamBuffer,
+)
 from repro.tabular.discretize import BinSpec, discretize_table
 from repro.tabular.io import read_csv, write_csv
 from repro.tabular.table import Table
@@ -51,6 +58,10 @@ __all__ = [
     "CorrectiveItem",
     "DivergenceExplorer",
     "DivergenceLattice",
+    "DivergenceMonitor",
+    "DriftAlert",
+    "DriftConfig",
+    "DriftInjection",
     "Item",
     "Itemset",
     "LatticeIndex",
@@ -59,6 +70,7 @@ __all__ = [
     "PatternDivergenceResult",
     "PatternRecord",
     "ReproError",
+    "StreamBuffer",
     "Table",
     "__version__",
     "compare_results",

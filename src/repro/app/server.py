@@ -13,6 +13,13 @@ Endpoints (all GET, JSON responses):
   per-endpoint request counts/status/latency percentiles
 - ``/``               minimal HTML page that calls the API
 
+Streaming monitor endpoints (see ``docs/streaming.md``): ``POST
+/api/monitor/ingest`` feeds batches of labeled predictions to a single
+lock-protected :class:`~repro.stream.monitor.DivergenceMonitor`
+(created on first ingest from the request's config params), ``GET
+/api/monitor/status`` snapshots it, and ``GET /api/monitor/alerts``
+returns the structured drift-alert log.
+
 Errors return ``{"error": ...}`` with status 400/404. Every payload is
 sanitized before serialization: non-finite floats (``inf``/``nan``)
 become ``null``, so responses are always strictly valid JSON
@@ -51,6 +58,8 @@ from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+import numpy as np
+
 from repro.core.corrective import find_corrective_items
 from repro.core.divergence import DivergenceExplorer
 from repro.core.explanations import explain_top_k
@@ -59,13 +68,24 @@ from repro.core.global_divergence import (
     individual_item_divergence,
 )
 from repro.core.items import Itemset
+from repro.core.outcomes import outcome_metric
 from repro.core.pruning import prune_redundant
 from repro.core.result import PatternDivergenceResult
 from repro.datasets import DATASET_NAMES, dataset_characteristics, load
 from repro.exceptions import ReproError
 from repro.obs import get_registry
-from repro.params import validate_deadline, validate_epsilon, validate_support
+from repro.params import (
+    validate_alert_threshold,
+    validate_deadline,
+    validate_epsilon,
+    validate_step,
+    validate_support,
+    validate_top,
+    validate_window,
+)
 from repro.resilience import CancellationError, DeadlineExceeded, cancel_scope
+from repro.stream import DivergenceMonitor, DriftConfig
+from repro.stream.runner import catalog_for
 
 _INDEX_HTML = """<!doctype html>
 <html><head><title>DivExplorer</title>
@@ -160,6 +180,37 @@ class AppState:
         self._cache: OrderedDict[tuple, _CachedExploration] = OrderedDict()
         self._explorers: dict[str, DivergenceExplorer] = {}
         self._lock = threading.Lock()
+        # Streaming monitor session: one DivergenceMonitor shared by
+        # /api/monitor/*, created lazily on first ingest. The session
+        # lock guards creation/reset; the monitor itself serializes
+        # ingest/status internally with its own RLock.
+        self._monitor: _MonitorSession | None = None
+        self._monitor_lock = threading.Lock()
+
+    def monitor_session(
+        self, params: dict[str, str], create: bool = False
+    ) -> "_MonitorSession | None":
+        """The active monitor session, optionally creating it.
+
+        Config params (``dataset``, ``metric``, ``support``, ``window``,
+        ``step``, ``alert_delta``, ``alert_t``, ``churn``, ``top``,
+        ``algorithm``) are honored on the ingest that creates the
+        session; later ingests append to the existing one.
+        ``reset=1`` tears the session down first.
+        """
+        with self._monitor_lock:
+            if params.get("reset"):
+                self._monitor = None
+            if self._monitor is None and create:
+                self._monitor = _MonitorSession.from_params(
+                    params, seed=self.seed
+                )
+            return self._monitor
+
+    def monitor_ingest(self, params: dict[str, str], body: bytes) -> dict:
+        """Feed one JSON batch to the (possibly new) monitor session."""
+        session = self.monitor_session(params, create=True)
+        return session.ingest(body)
 
     def register_upload(
         self,
@@ -304,6 +355,116 @@ class AppState:
         return result, rows
 
 
+class _MonitorSession:
+    """A streaming monitor bound to one dataset's schema.
+
+    Holds the catalog used to encode incoming JSON rows and the label →
+    code maps per attribute; the wrapped
+    :class:`~repro.stream.monitor.DivergenceMonitor` owns mining state.
+    """
+
+    def __init__(
+        self, dataset: str, metric: str, monitor: DivergenceMonitor
+    ) -> None:
+        self.dataset = dataset
+        self.metric = metric
+        self.monitor = monitor
+        catalog = monitor.catalog
+        self._codes: list[dict[str, int]] = [
+            {str(c): i for i, c in enumerate(cats)}
+            for cats in catalog.categories
+        ]
+
+    @classmethod
+    def from_params(
+        cls, params: dict[str, str], seed: int = 0
+    ) -> "_MonitorSession":
+        dataset = params.get("dataset", "compas")
+        if dataset not in DATASET_NAMES:
+            raise ReproError(f"unknown dataset {dataset!r}")
+        metric = params.get("metric", "fpr")
+        outcome_metric(metric)  # validate early: unknown metric -> 400
+        monitor = DivergenceMonitor(
+            catalog_for(load(dataset, seed=seed)),
+            metric=metric,
+            window=validate_window(params.get("window", "512")),
+            step=validate_step(params.get("step")),
+            min_support=validate_support(params.get("support", "0.1")),
+            algorithm=params.get("algorithm", "bitset"),
+            drift=DriftConfig(
+                min_delta=validate_alert_threshold(
+                    params.get("alert_delta", "0.15")
+                ),
+                min_t=validate_alert_threshold(params.get("alert_t", "3.0")),
+                churn_threshold=validate_alert_threshold(
+                    params.get("churn", "0.6")
+                ),
+                top_k=validate_top(params.get("top", "10")),
+            ),
+        )
+        return cls(dataset, metric, monitor)
+
+    def ingest(self, body: bytes) -> dict:
+        """Decode ``{"rows", "truth", "pred"}``, encode, ingest."""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReproError(f"ingest body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ReproError("ingest body must be a JSON object")
+        rows = payload.get("rows")
+        truth = payload.get("truth")
+        pred = payload.get("pred")
+        if not isinstance(rows, list) or not rows:
+            raise ReproError("ingest body needs a non-empty 'rows' list")
+        if not isinstance(truth, list) or not isinstance(pred, list):
+            raise ReproError("ingest body needs 'truth' and 'pred' lists")
+        if len(truth) != len(rows) or len(pred) != len(rows):
+            raise ReproError(
+                f"'rows' ({len(rows)}), 'truth' ({len(truth)}) and "
+                f"'pred' ({len(pred)}) must have equal length"
+            )
+        matrix = self._encode(rows)
+        outcome = outcome_metric(self.metric)(
+            np.asarray(truth, dtype=bool), np.asarray(pred, dtype=bool)
+        )
+        before = len(self.monitor.alerts)
+        self.monitor.ingest(matrix, outcome=outcome)
+        status = self.monitor.status()
+        return {
+            "ingested": len(rows),
+            "rows": status["rows_ingested"],
+            "windows": status["windows_mined"],
+            "new_alerts": [
+                a.as_dict() for a in self.monitor.alerts[before:]
+            ],
+        }
+
+    def _encode(self, rows: list) -> np.ndarray:
+        """Encode JSON records into the catalog's integer codes."""
+        catalog = self.monitor.catalog
+        matrix = np.empty((len(rows), len(catalog.attributes)), dtype=np.int32)
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                raise ReproError(
+                    f"row {i} must be an object mapping attribute to value"
+                )
+            for j, attribute in enumerate(catalog.attributes):
+                if attribute not in row:
+                    raise ReproError(
+                        f"row {i} is missing attribute {attribute!r}"
+                    )
+                code = self._codes[j].get(str(row[attribute]))
+                if code is None:
+                    raise ReproError(
+                        f"row {i}: unknown value {row[attribute]!r} for "
+                        f"{attribute!r}; choose from "
+                        f"{sorted(self._codes[j])}"
+                    )
+                matrix[i, j] = code
+        return matrix
+
+
 def _json_safe(value: float) -> float | None:
     """``None`` for non-finite floats, the value otherwise.
 
@@ -356,6 +517,9 @@ class _Handler(BaseHTTPRequestHandler):
             "/api/lattice",
             "/api/metrics",
             "/api/upload",
+            "/api/monitor/ingest",
+            "/api/monitor/status",
+            "/api/monitor/alerts",
         }
     )
 
@@ -376,7 +540,15 @@ class _Handler(BaseHTTPRequestHandler):
     # Endpoints cheap enough to bypass admission control: health/UI,
     # static characteristics and the metrics dashboard must stay
     # reachable even when every mining slot is busy.
-    _CHEAP_PATHS = frozenset({"/", "/api/datasets", "/api/metrics"})
+    _CHEAP_PATHS = frozenset(
+        {
+            "/",
+            "/api/datasets",
+            "/api/metrics",
+            "/api/monitor/status",
+            "/api/monitor/alerts",
+        }
+    )
 
     # Endpoints eligible for degraded (coarser-support) fallback when
     # their deadline expires mid-exploration.
@@ -441,6 +613,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(self._lattice(params))
         elif path == "/api/metrics":
             self._send_json(self._metrics())
+        elif path == "/api/monitor/status":
+            self._send_json(self._monitor_status())
+        elif path == "/api/monitor/alerts":
+            self._send_json(self._monitor_alerts(params))
         else:
             self._send_json({"error": f"unknown path {path}"}, 404)
 
@@ -555,7 +731,9 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         self._start_request(parsed.path)
+        deadline: float | None = None
         try:
+            deadline = self._deadline(params)
             if not self._admit(parsed.path):
                 return  # shed: the 503 has already been sent
             try:
@@ -572,12 +750,29 @@ class _Handler(BaseHTTPRequestHandler):
                         bins=int(params.get("bins", "3")),
                     )
                     self._send_json({"dataset": handle})
+                elif parsed.path == "/api/monitor/ingest":
+                    length = int(self.headers.get("Content-Length", "0"))
+                    if length <= 0:
+                        raise ReproError("empty ingest body")
+                    body_bytes = self.rfile.read(length)
+                    # Window re-mining runs inside the scope, so a slow
+                    # ingest aborts cooperatively at its checkpoints.
+                    with cancel_scope(deadline=deadline):
+                        self._send_json(
+                            self._state.monitor_ingest(params, body_bytes)
+                        )
                 else:
                     self._send_json(
                         {"error": f"unknown path {parsed.path}"}, 404
                     )
             finally:
                 self._release()
+        except DeadlineExceeded as exc:
+            get_registry().counter("resilience.timeouts").inc()
+            payload: dict = {"error": str(exc), "timeout": True}
+            if deadline is not None:
+                payload["deadline"] = deadline
+            self._send_json(payload, 504, headers={"Retry-After": "1"})
         except CancellationError as exc:
             get_registry().counter("resilience.cancelled").inc()
             self._send_json(
@@ -728,6 +923,39 @@ class _Handler(BaseHTTPRequestHandler):
         ]
         return {"pattern": str(pattern), "nodes": nodes, "edges": edges}
 
+    def _monitor_status(self) -> dict:
+        """Snapshot of the streaming monitor (``/api/monitor/status``)."""
+        session = self._state.monitor_session({})
+        if session is None:
+            return {"active": False}
+        status = session.monitor.status()
+        status["active"] = True
+        status["dataset"] = session.dataset
+        return status
+
+    def _monitor_alerts(self, params: dict[str, str]) -> dict:
+        """Drift alert log (``/api/monitor/alerts``); ``since`` skips
+        already-seen entries (pass back the previous ``next``)."""
+        try:
+            since = int(params.get("since", "0"))
+        except ValueError:
+            raise ReproError(
+                f"since must be an integer, got {params.get('since')!r}"
+            ) from None
+        session = self._state.monitor_session({})
+        if session is None:
+            return {"active": False, "alerts": [], "next": 0}
+        alerts = session.monitor.alerts
+        return {
+            "active": True,
+            "alerts": [
+                dict(a.as_dict(), seq=i)
+                for i, a in enumerate(alerts)
+                if i >= since
+            ],
+            "next": len(alerts),
+        }
+
     def _metrics(self) -> dict:
         """Process-wide observability snapshot (``/api/metrics``).
 
@@ -807,6 +1035,11 @@ def create_server(
         "resilience.shed",
         "resilience.degraded",
         "resilience.cancelled",
+        "stream.batches",
+        "stream.rows",
+        "stream.windows",
+        "stream.alerts",
+        "stream.buffer_growths",
     ):
         registry.counter(name)
     return server

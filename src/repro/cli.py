@@ -11,6 +11,9 @@ Subcommands cover the full analysis surface:
 - ``lattice``    — render the subset lattice of a pattern (text or DOT)
 - ``report``     — full markdown audit report
 - ``study``      — run the simulated bias-injection user study
+- ``monitor``    — streaming divergence monitor: replay a dataset in
+  shuffled batches (optionally with injected drift) and print the
+  drift-alert timeline
 
 Data can come from a bundled generator (``--dataset compas``) or from a
 CSV file (``--csv data.csv --true-column y --pred-column yhat``), in
@@ -31,10 +34,35 @@ from repro.exceptions import ReproError
 from repro.experiments.report import divergence_report
 from repro.experiments.tables import format_table
 from repro.obs import render_profile, span
-from repro.params import validate_deadline, validate_epsilon, validate_support
+from repro.params import (
+    validate_alert_threshold,
+    validate_batch_size,
+    validate_deadline,
+    validate_epsilon,
+    validate_step,
+    validate_support,
+    validate_window,
+)
 from repro.resilience import DeadlineExceeded, cancel_scope
 from repro.tabular.discretize import discretize_table
 from repro.tabular.io import read_csv
+
+
+def _arg(validator):
+    """Adapt a ``repro.params`` validator into an argparse ``type=``.
+
+    Bad values then fail at parse time with argparse's usage error
+    (exit code 2) carrying the validator's message, instead of
+    surfacing later as a runtime error.
+    """
+
+    def parse(text: str):
+        try:
+            return validator(text)
+        except ReproError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    return parse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +167,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--seed", type=int, default=0)
     p_study.add_argument("--users", type=int, default=35)
 
+    p_mon = sub.add_parser(
+        "monitor",
+        help="streaming divergence monitor (replay, optional injected drift)",
+    )
+    add_profile_arg(p_mon)
+    p_mon.add_argument("--dataset", choices=DATASET_NAMES, required=True,
+                       help="bundled dataset to replay as a stream")
+    p_mon.add_argument("--metric", default="fpr")
+    p_mon.add_argument("--support", type=_arg(validate_support), default=0.1)
+    p_mon.add_argument("--algorithm", default="bitset",
+                       choices=["bitset", "fpgrowth", "apriori", "eclat",
+                                "bruteforce"])
+    p_mon.add_argument("--window", type=_arg(validate_window), default=1024,
+                       help="window size in rows")
+    p_mon.add_argument("--step", type=_arg(validate_step), default=None,
+                       help="window step in rows (default: tumbling)")
+    p_mon.add_argument("--batch-size", type=_arg(validate_batch_size),
+                       default=256, help="ingestion batch size in rows")
+    p_mon.add_argument("--alert-delta", type=_arg(validate_alert_threshold),
+                       default=0.15,
+                       help="min |divergence change| between windows")
+    p_mon.add_argument("--alert-t", type=_arg(validate_alert_threshold),
+                       default=3.0, help="min Welch t between windows")
+    p_mon.add_argument("--churn", type=_arg(validate_alert_threshold),
+                       default=0.6, help="top-k churn alert threshold")
+    p_mon.add_argument("--top", type=int, default=10,
+                       help="ranking depth for churn and window summaries")
+    p_mon.add_argument("--inject", metavar="PATTERN",
+                       help='inject synthetic drift into e.g. "sex=Male"')
+    p_mon.add_argument("--inject-at", type=float, default=0.5,
+                       help="stream position of the injection (fraction)")
+    p_mon.add_argument("--max-rows", type=int, default=None,
+                       help="truncate the replay to this many rows")
+    p_mon.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -221,6 +284,10 @@ def _dispatch(args: argparse.Namespace) -> None:
         print(format_table(rows, title=f"injected: ({result.injected})"))
         return
 
+    if args.command == "monitor":
+        _run_monitor(args)
+        return
+
     if args.command == "report":
         explorer = _load_explorer(args)
         text = divergence_report(
@@ -294,6 +361,87 @@ def _dispatch(args: argparse.Namespace) -> None:
             print(lattice_to_dot(lattice, threshold=args.threshold))
         else:
             print(lattice.render(threshold=args.threshold))
+
+
+def _run_monitor(args: argparse.Namespace) -> None:
+    """Replay a dataset through the streaming monitor and print alerts."""
+    from repro.stream import DriftConfig, DriftInjection, replay
+
+    drift = DriftConfig(
+        min_delta=args.alert_delta,
+        min_t=args.alert_t,
+        churn_threshold=args.churn,
+        top_k=args.top,
+    )
+    injection = (
+        DriftInjection(args.inject, at_fraction=args.inject_at)
+        if args.inject
+        else None
+    )
+    report = replay(
+        args.dataset,
+        metric=args.metric,
+        batch_size=args.batch_size,
+        window=args.window,
+        step=args.step,
+        min_support=args.support,
+        algorithm=args.algorithm,
+        drift=drift,
+        injection=injection,
+        seed=args.seed,
+        max_rows=args.max_rows,
+    )
+    monitor = report.monitor
+    policy = monitor.policy
+    print(
+        f"replayed {args.dataset}: {report.n_rows} rows in "
+        f"{report.n_batches} batches, {len(monitor.windows)} windows "
+        f"(window={policy.size}, step={policy.step}, s={args.support})"
+    )
+    if report.injected_pattern is not None:
+        print(
+            f"injected drift into '{report.injected_pattern}' at row "
+            f"{report.injection_row} (window {report.injection_window}); "
+            f"{report.injected_rows} outcomes flipped"
+        )
+    alerts = report.alerts
+    if not alerts:
+        print("no drift alerts fired")
+    else:
+        rows = [
+            {
+                "window": a.kind == "rank_churn" and f"{a.window_index} *churn*"
+                or a.window_index,
+                "itemset": a.itemset or f"top-{drift.top_k} churn "
+                f"{a.churn:.2f}",
+                "Δ_prev": _fmt(a.prev_divergence),
+                "Δ_cur": _fmt(a.cur_divergence),
+                "delta": _fmt(a.delta),
+                "t": _fmt(a.t_statistic, 1),
+            }
+            for a in alerts
+        ]
+        print(format_table(
+            rows, title=f"drift alerts (δ>={drift.min_delta}, t>={drift.min_t})"
+        ))
+        print(f"{len(alerts)} alerts over {len(monitor.windows)} windows")
+    if report.injected_key is not None:
+        detected = report.detection_window()
+        if detected is None:
+            print("injected drift NOT detected")
+        else:
+            lag = detected - (report.injection_window or 0)
+            print(
+                f"injected drift detected in window {detected} "
+                f"(lag {lag} windows, {len(report.matching_alerts())} "
+                "matching alerts)"
+            )
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    import math as _math
+
+    return "-" if _math.isnan(value) else f"{value:+.{digits}f}"
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -47,6 +47,104 @@ def popcount_rows(packed: np.ndarray) -> np.ndarray:
     return _POPCOUNT[packed].sum(axis=-1)
 
 
+def dense_item_rows(item_matrix: np.ndarray, n_items: int) -> np.ndarray:
+    """``(n_items, n_rows) bool`` coverage matrix of a global-id matrix.
+
+    ``item_matrix`` is the ``(n_rows, n_attrs)`` matrix of global item
+    ids (``matrix + offsets``); row ``i`` of the result marks the
+    transactions covered by item ``i``. This is the scatter behind
+    :attr:`TransactionDataset.packed_item_bitmaps`, shared with the
+    streaming append path so both pack coverage identically.
+    """
+    n_rows = item_matrix.shape[0]
+    dense = np.zeros((n_items, n_rows), dtype=bool)
+    if n_rows:
+        n_attrs = item_matrix.shape[1]
+        row_ids = np.repeat(np.arange(n_rows), n_attrs)
+        dense[item_matrix.ravel(), row_ids] = True
+    return dense
+
+
+def append_packed_bits(
+    buffer: np.ndarray, n_bits: int, dense: np.ndarray
+) -> None:
+    """Append boolean columns to packed bitmap rows, in place.
+
+    ``buffer`` is a ``(R, cap_bytes) uint8`` packbits array (big-endian
+    bit order) whose first ``n_bits`` bit columns are occupied; ``dense``
+    is the ``(R, b) bool`` block to append starting at bit ``n_bits``.
+    The buffer must have capacity for ``n_bits + b`` bits, and the bits
+    at and beyond ``n_bits`` must be zero (they are ORed into). This is
+    the incremental alternative to re-packing the whole history: cost is
+    proportional to the batch, not to the accumulated stream.
+    """
+    b = dense.shape[1]
+    if b == 0:
+        return
+    offset = n_bits & 7
+    start = n_bits >> 3
+    if offset:
+        # Shift the batch to the intra-byte offset by prepending zero
+        # bit columns, then OR the straddling first byte into place.
+        padded = np.concatenate(
+            [np.zeros((dense.shape[0], offset), dtype=bool), dense], axis=1
+        )
+        packed = np.packbits(padded, axis=1)
+        buffer[:, start] |= packed[:, 0]
+        buffer[:, start + 1 : start + packed.shape[1]] = packed[:, 1:]
+    else:
+        packed = np.packbits(dense, axis=1)
+        buffer[:, start : start + packed.shape[1]] = packed
+
+
+def slice_packed_bits(packed: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Bit columns ``[start, stop)`` of packed rows, repacked at offset 0.
+
+    Returns a fresh ``(R, ceil((stop-start)/8)) uint8`` array whose
+    padding bits are zero, so it is directly usable as a
+    :attr:`TransactionDataset.packed_item_bitmaps` block for the window.
+    Byte-aligned starts are a pure byte-range copy; unaligned starts
+    unpack only the touched byte span.
+    """
+    width = stop - start
+    if width < 0:
+        raise MiningError(f"invalid bit slice [{start}, {stop})")
+    out_bytes = (width + 7) // 8
+    if start & 7 == 0:
+        first = start >> 3
+        out = packed[:, first : first + out_bytes].copy()
+        if out.shape[1] < out_bytes:  # capacity buffer narrower than asked
+            raise MiningError(f"bit slice [{start}, {stop}) out of range")
+    else:
+        first = start >> 3
+        last = (stop + 7) >> 3
+        bits = np.unpackbits(packed[:, first:last], axis=1)
+        shift = start & 7
+        out = np.packbits(bits[:, shift : shift + width], axis=1)
+    pad = (-width) % 8
+    if pad and out.shape[1]:
+        out[:, -1] &= np.uint8((0xFF << pad) & 0xFF)
+    return out
+
+
+def _grow_packed(
+    packed: np.ndarray, old_bits: int, new_bits: int
+) -> np.ndarray:
+    """Widen a packed bitmap to hold ``new_bits`` bit columns.
+
+    Returns ``packed`` itself when the byte width already suffices,
+    otherwise a zero-extended copy. The occupied prefix (``old_bits``
+    bits, i.e. the first ``ceil(old_bits / 8)`` bytes) is preserved.
+    """
+    need = (new_bits + 7) // 8
+    if packed.shape[1] >= need:
+        return packed
+    grown = np.zeros((packed.shape[0], need), dtype=np.uint8)
+    used = (old_bits + 7) // 8
+    grown[:, :used] = packed[:, :used]
+    return grown
+
+
 class ItemCatalog:
     """Bidirectional mapping between item ids and (attribute, value) pairs.
 
@@ -164,6 +262,118 @@ class TransactionDataset:
         self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
+    # streaming construction hooks
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_packed(
+        cls,
+        matrix: np.ndarray,
+        catalog: ItemCatalog,
+        channels: np.ndarray | None = None,
+        packed_items: np.ndarray | None = None,
+        packed_channels: np.ndarray | None = None,
+    ) -> "TransactionDataset":
+        """Construct with pre-built packed bitmaps installed.
+
+        The streaming buffer maintains coverage bitmaps incrementally;
+        this hook lets it hand them to the dataset (after validating
+        their shapes) instead of having the lazy properties re-pack the
+        same rows from scratch. Bitmaps must follow the
+        :attr:`packed_item_bitmaps` layout exactly — ``np.packbits``
+        big-endian bit order with zero padding bits.
+        """
+        dataset = cls(matrix, catalog, channels)
+        n_bytes = dataset.n_packed_bytes
+        if packed_items is not None:
+            expected = (catalog.n_items, n_bytes)
+            if packed_items.shape != expected or packed_items.dtype != np.uint8:
+                raise MiningError(
+                    f"packed_items must be uint8 with shape {expected}, got "
+                    f"{packed_items.dtype} {packed_items.shape}"
+                )
+            dataset._packed_items = packed_items
+        if packed_channels is not None:
+            expected = (dataset.n_channels, n_bytes)
+            if (
+                packed_channels.shape != expected
+                or packed_channels.dtype != np.uint8
+            ):
+                raise MiningError(
+                    f"packed_channels must be uint8 with shape {expected}, "
+                    f"got {packed_channels.dtype} {packed_channels.shape}"
+                )
+            dataset._packed_channels = packed_channels
+        return dataset
+
+    def extend(
+        self, matrix: np.ndarray, channels: np.ndarray | None = None
+    ) -> None:
+        """Append rows in place, maintaining caches incrementally.
+
+        Already-built packed bitmaps are grown by packing only the new
+        rows at the current bit offset (never re-packing history); the
+        cached :meth:`fingerprint` is invalidated so a grown dataset can
+        never alias a :class:`~repro.fpm.cache.MiningCache` entry of its
+        shorter past self. Channel binariness is re-examined against the
+        batch: a non-binary batch drops the packed channel bitmaps.
+        """
+        mat = np.asarray(matrix)
+        if mat.ndim != 2 or mat.shape[1] != len(self.catalog.attributes):
+            raise MiningError(
+                f"extension matrix must be (rows, {len(self.catalog.attributes)})"
+            )
+        for j, m in enumerate(self.catalog.cardinalities):
+            if mat.shape[0] and (mat[:, j].min() < 0 or mat[:, j].max() >= m):
+                raise MiningError(f"codes out of range in column {j}")
+        mat = mat.astype(np.int32, copy=False)
+        if channels is None:
+            if self.n_channels:
+                raise MiningError("extension must provide channel rows")
+            channels = np.empty((mat.shape[0], 0), dtype=np.int64)
+        ch = np.asarray(channels)
+        if ch.ndim != 2 or ch.shape[0] != mat.shape[0] or ch.shape[1] != self.n_channels:
+            raise MiningError(
+                f"extension channels must be ({mat.shape[0]}, {self.n_channels})"
+            )
+        ch = ch.astype(np.int64, copy=False)
+
+        old_rows = self.n_rows
+        item_rows = mat + self.catalog.offsets[:-1].astype(np.int32)
+        self.matrix = np.concatenate([self.matrix, mat], axis=0)
+        self.channels = np.concatenate([self.channels, ch], axis=0)
+        self.item_matrix = np.concatenate([self.item_matrix, item_rows], axis=0)
+        self.n_rows = self.matrix.shape[0]
+
+        if self._packed_items is not None:
+            self._packed_items = _grow_packed(
+                self._packed_items, old_rows, self.n_rows
+            )
+            append_packed_bits(
+                self._packed_items,
+                old_rows,
+                dense_item_rows(item_rows, self.catalog.n_items),
+            )
+        batch_binary = bool(((ch == 0) | (ch == 1)).all())
+        if self._packed_channels is not None:
+            if batch_binary:
+                self._packed_channels = _grow_packed(
+                    self._packed_channels, old_rows, self.n_rows
+                )
+                append_packed_bits(
+                    self._packed_channels, old_rows, ch.T.astype(bool)
+                )
+            else:
+                self._packed_channels = None
+        if not batch_binary:
+            self._channels_binary = False
+        elif self._channels_binary is not True:
+            self._channels_binary = None  # re-derive lazily over all rows
+        # A grown dataset is a different dataset: a stale fingerprint
+        # here would alias MiningCache entries of the pre-append state.
+        self._fingerprint = None
+
+    # ------------------------------------------------------------------
     # per-item coverage
     # ------------------------------------------------------------------
 
@@ -210,13 +420,9 @@ class TransactionDataset:
         popcounts over these rows are exact. Built once and cached.
         """
         if self._packed_items is None:
-            n_items = self.catalog.n_items
-            dense = np.zeros((n_items, self.n_rows), dtype=bool)
-            if self.n_rows:
-                n_attrs = self.item_matrix.shape[1]
-                row_ids = np.repeat(np.arange(self.n_rows), n_attrs)
-                dense[self.item_matrix.ravel(), row_ids] = True
-            self._packed_items = np.packbits(dense, axis=1)
+            self._packed_items = np.packbits(
+                dense_item_rows(self.item_matrix, self.catalog.n_items), axis=1
+            )
         return self._packed_items
 
     @property

@@ -15,10 +15,14 @@ import math
 from repro.exceptions import ReproError
 
 __all__ = [
+    "validate_alert_threshold",
+    "validate_batch_size",
     "validate_deadline",
     "validate_epsilon",
+    "validate_step",
     "validate_support",
     "validate_top",
+    "validate_window",
 ]
 
 
@@ -67,6 +71,61 @@ def validate_deadline(value: float | str | None) -> float | None:
             f"deadline must be a positive finite number of seconds, got {value!r}"
         )
     return deadline
+
+
+def _validate_positive_int(value: int | str, name: str, minimum: int) -> int:
+    """Shared coercion for streaming row-count knobs."""
+    try:
+        coerced = int(value)
+    except (TypeError, ValueError):
+        raise ReproError(f"{name} must be an integer, got {value!r}") from None
+    if coerced < minimum:
+        raise ReproError(f"{name} must be >= {minimum}, got {value!r}")
+    return coerced
+
+
+def validate_window(value: int | str) -> int:
+    """Coerce and check a streaming window size (rows): ``window >= 2``.
+
+    A 1-row window cannot support a divergence table, and mining it
+    would raise deep inside the backends.
+    """
+    return _validate_positive_int(value, "window", 2)
+
+
+def validate_step(value: int | str | None) -> int | None:
+    """Coerce and check a window step (rows): ``step >= 1``.
+
+    ``None`` means tumbling (step = window). Steps larger than the
+    window are allowed — they sample the stream with gaps.
+    """
+    if value is None:
+        return None
+    return _validate_positive_int(value, "step", 1)
+
+
+def validate_batch_size(value: int | str) -> int:
+    """Coerce and check an ingestion batch size: ``batch_size >= 1``."""
+    return _validate_positive_int(value, "batch_size", 1)
+
+
+def validate_alert_threshold(value: float | str) -> float:
+    """Coerce and check a drift alert threshold: finite, ``>= 0``.
+
+    Used for both the divergence-delta and the Welch-t gates; zero
+    disables the gate (every aligned itemset passes it).
+    """
+    try:
+        threshold = float(value)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"alert threshold must be a number, got {value!r}"
+        ) from None
+    if math.isnan(threshold) or math.isinf(threshold) or threshold < 0.0:
+        raise ReproError(
+            f"alert threshold must be finite and >= 0, got {value!r}"
+        )
+    return threshold
 
 
 def validate_top(value: int | str, minimum: int = 1) -> int:

@@ -1,0 +1,216 @@
+"""Append-only ingestion buffer for streaming divergence analysis.
+
+:class:`StreamBuffer` accepts batches of dictionary-encoded rows plus
+their outcome channels and maintains the vertical packed-bitmap
+representation of :class:`~repro.fpm.transactions.TransactionDataset`
+*incrementally*: each append packs only the batch's bits at the current
+bit offset (via :func:`~repro.fpm.transactions.append_packed_bits`) into
+capacity buffers that grow in amortized-doubling chunks. Appending a
+batch therefore costs ``O(batch)`` regardless of how many rows have
+accumulated, where rebuilding a ``TransactionDataset`` from scratch
+costs ``O(total)`` — the difference ``benchmarks/bench_stream_ingest.py``
+measures.
+
+Windows over the buffer materialize as real ``TransactionDataset``
+objects through :meth:`StreamBuffer.window_dataset`, with the window's
+packed bitmaps sliced out of the maintained buffers
+(:func:`~repro.fpm.transactions.slice_packed_bits`), so the downstream
+miners, caches and divergence analytics run unchanged on live data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.fpm.transactions import (
+    ItemCatalog,
+    TransactionDataset,
+    append_packed_bits,
+    dense_item_rows,
+    slice_packed_bits,
+)
+from repro.obs import get_registry
+from repro.resilience import checkpoint
+
+
+class StreamBuffer:
+    """Append-only row store with incrementally packed coverage bitmaps.
+
+    Parameters
+    ----------
+    catalog:
+        The item catalog all appended rows are encoded against. Fixed
+        for the lifetime of the buffer (streaming does not re-learn the
+        schema).
+    n_channels:
+        Width of the outcome channel matrix (2 for the one-hot ``T``/
+        ``F`` channels of Algorithm 1).
+    initial_capacity:
+        Starting row capacity of the backing buffers; grows by doubling.
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        n_channels: int = 2,
+        initial_capacity: int = 1024,
+    ) -> None:
+        if n_channels < 0:
+            raise MiningError(f"n_channels must be >= 0, got {n_channels}")
+        self.catalog = catalog
+        self.n_channels = int(n_channels)
+        self._n_rows = 0
+        self.batches = 0
+        cap = max(8, int(initial_capacity))
+        n_attrs = len(catalog.attributes)
+        self._matrix = np.zeros((cap, n_attrs), dtype=np.int32)
+        self._channels = np.zeros((cap, self.n_channels), dtype=np.int64)
+        cap_bytes = (cap + 7) // 8
+        self._packed_items = np.zeros((catalog.n_items, cap_bytes), np.uint8)
+        self._packed_channels = np.zeros((self.n_channels, cap_bytes), np.uint8)
+        # Channels stay packable only while every value is 0/1; a
+        # non-binary batch permanently drops the packed channel path
+        # (windows then fall back to the miners' gather path).
+        self._channels_binary = True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Rows ingested so far."""
+        return self._n_rows
+
+    @property
+    def capacity(self) -> int:
+        """Current row capacity of the backing buffers."""
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """View of the ingested ``(n_rows, n_attrs)`` code matrix."""
+        return self._matrix[: self._n_rows]
+
+    @property
+    def channels(self) -> np.ndarray:
+        """View of the ingested ``(n_rows, n_channels)`` channel matrix."""
+        return self._channels[: self._n_rows]
+
+    @property
+    def channels_binary(self) -> bool:
+        """Whether every ingested channel value has been 0/1."""
+        return self._channels_binary
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    # ------------------------------------------------------------------
+
+    def append(self, matrix: np.ndarray, channels: np.ndarray) -> int:
+        """Append a batch of rows; returns the new total row count.
+
+        ``matrix`` is ``(b, n_attrs)`` dictionary-encoded codes and
+        ``channels`` the matching ``(b, n_channels)`` outcome channels.
+        Cost is proportional to the batch: the packed bitmaps receive
+        only the batch's bits, at the current bit offset.
+        """
+        checkpoint("stream.append")
+        mat = np.asarray(matrix)
+        if mat.ndim != 2 or mat.shape[1] != len(self.catalog.attributes):
+            raise MiningError(
+                f"batch matrix must be (rows, {len(self.catalog.attributes)}), "
+                f"got {mat.shape}"
+            )
+        ch = np.asarray(channels)
+        if ch.ndim != 2 or ch.shape[0] != mat.shape[0] or ch.shape[1] != self.n_channels:
+            raise MiningError(
+                f"batch channels must be ({mat.shape[0]}, {self.n_channels}), "
+                f"got {ch.shape}"
+            )
+        for j, m in enumerate(self.catalog.cardinalities):
+            if mat.shape[0] and (mat[:, j].min() < 0 or mat[:, j].max() >= m):
+                raise MiningError(f"codes out of range in column {j}")
+        b = mat.shape[0]
+        if b == 0:
+            return self._n_rows
+        old = self._n_rows
+        self._reserve(old + b)
+        self._matrix[old : old + b] = mat
+        self._channels[old : old + b] = ch
+
+        item_rows = mat.astype(np.int32) + self.catalog.offsets[:-1].astype(
+            np.int32
+        )
+        append_packed_bits(
+            self._packed_items, old, dense_item_rows(item_rows, self.catalog.n_items)
+        )
+        if self._channels_binary:
+            if bool(((ch == 0) | (ch == 1)).all()):
+                append_packed_bits(
+                    self._packed_channels, old, ch.T.astype(bool)
+                )
+            else:
+                self._channels_binary = False
+        self._n_rows = old + b
+        self.batches += 1
+        registry = get_registry()
+        registry.counter("stream.batches").inc()
+        registry.counter("stream.rows").inc(b)
+        registry.gauge("stream.buffer_rows").set(float(self._n_rows))
+        return self._n_rows
+
+    def _reserve(self, n_rows: int) -> None:
+        """Grow the backing buffers to hold ``n_rows`` (doubling)."""
+        cap = self.capacity
+        if n_rows <= cap:
+            return
+        while cap < n_rows:
+            cap *= 2
+        matrix = np.zeros((cap, self._matrix.shape[1]), dtype=np.int32)
+        matrix[: self._n_rows] = self._matrix[: self._n_rows]
+        self._matrix = matrix
+        channels = np.zeros((cap, self.n_channels), dtype=np.int64)
+        channels[: self._n_rows] = self._channels[: self._n_rows]
+        self._channels = channels
+        cap_bytes = (cap + 7) // 8
+        used_bytes = (self._n_rows + 7) // 8
+        packed = np.zeros((self.catalog.n_items, cap_bytes), np.uint8)
+        packed[:, :used_bytes] = self._packed_items[:, :used_bytes]
+        self._packed_items = packed
+        packed_ch = np.zeros((self.n_channels, cap_bytes), np.uint8)
+        packed_ch[:, :used_bytes] = self._packed_channels[:, :used_bytes]
+        self._packed_channels = packed_ch
+        get_registry().counter("stream.buffer_growths").inc()
+
+    # ------------------------------------------------------------------
+
+    def window_dataset(self, start: int, stop: int) -> TransactionDataset:
+        """Materialize rows ``[start, stop)`` as a ``TransactionDataset``.
+
+        The window's packed item (and, for binary channels, channel)
+        bitmaps are sliced out of the incrementally maintained buffers
+        and installed via
+        :meth:`~repro.fpm.transactions.TransactionDataset.from_packed`,
+        so the bitset miner never re-packs window rows.
+        """
+        if not 0 <= start < stop <= self._n_rows:
+            raise MiningError(
+                f"window [{start}, {stop}) out of range for {self._n_rows} rows"
+            )
+        packed_items = slice_packed_bits(self._packed_items, start, stop)
+        packed_channels = (
+            slice_packed_bits(self._packed_channels, start, stop)
+            if self._channels_binary and self.n_channels
+            else None
+        )
+        return TransactionDataset.from_packed(
+            self._matrix[start:stop],
+            self.catalog,
+            self._channels[start:stop],
+            packed_items=packed_items,
+            packed_channels=packed_channels,
+        )
+
+    def dataset(self) -> TransactionDataset:
+        """The whole buffer as a ``TransactionDataset``."""
+        return self.window_dataset(0, self._n_rows)

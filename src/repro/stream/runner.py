@@ -1,0 +1,233 @@
+"""Offline replay driver: stream a registry dataset with optional drift.
+
+Drift detection needs ground truth to be testable, and production
+streams have none — so the replay driver manufactures it. It shuffles
+any :class:`~repro.datasets.registry_types.LoadedDataset` (or registry
+name) into a deterministic stream of batches, optionally injects a
+synthetic drift — from a chosen stream position onward, the outcomes of
+rows matching a chosen itemset are flipped — and feeds the stream to a
+:class:`~repro.stream.monitor.DivergenceMonitor`. The report records
+where the injection landed in window coordinates, so tests (and the
+``monitor`` CLI subcommand) can assert that an alert naming the
+injected subgroup fires within a bounded number of windows, and that
+the no-injection control stays silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.items import Itemset
+from repro.core.outcomes import FALSE, TRUE, outcome_metric
+from repro.datasets import load
+from repro.datasets.registry_types import LoadedDataset
+from repro.exceptions import ReproError
+from repro.fpm.transactions import ItemCatalog
+from repro.resilience import checkpoint
+from repro.stream.drift import DriftAlert, DriftConfig
+from repro.stream.monitor import DivergenceMonitor
+
+
+@dataclass(frozen=True)
+class DriftInjection:
+    """Synthetic drift: flip outcomes inside one subgroup after time t.
+
+    ``pattern`` selects the subgroup (``"attr=value, attr2=value2"`` or
+    an :class:`~repro.core.items.Itemset`); from stream position
+    ``at_fraction`` onward, matching rows with a defined (non-BOTTOM)
+    outcome are flipped — FALSE becomes TRUE when ``raise_rate`` (the
+    subgroup's outcome rate drifts up), TRUE becomes FALSE otherwise.
+    """
+
+    pattern: str
+    at_fraction: float = 0.5
+    raise_rate: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ReproError(
+                f"at_fraction must be in [0, 1], got {self.at_fraction}"
+            )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay: the monitor plus injection bookkeeping."""
+
+    monitor: DivergenceMonitor
+    n_rows: int
+    n_batches: int
+    injected_pattern: str | None = None
+    injected_key: frozenset[int] | None = None
+    injection_row: int | None = None
+    injection_window: int | None = None
+    injected_rows: int = 0
+
+    @property
+    def alerts(self) -> list[DriftAlert]:
+        return list(self.monitor.alerts)
+
+    def matching_alerts(self) -> list[DriftAlert]:
+        """Shift alerts whose itemset is the injected one, a superset or
+        a subset of it (drift in a subgroup surfaces across its lattice
+        neighborhood)."""
+        if self.injected_key is None:
+            return []
+        injected = self.injected_key
+        return [
+            a
+            for a in self.monitor.alerts
+            if a.key is not None and (a.key <= injected or injected <= a.key)
+        ]
+
+    def detection_window(self) -> int | None:
+        """First window index with a matching alert, or ``None``."""
+        matches = self.matching_alerts()
+        return min((a.window_index for a in matches), default=None)
+
+
+def resolve_pattern_key(
+    catalog: ItemCatalog, pattern: str | Itemset
+) -> frozenset[int]:
+    """Resolve a pattern to canonical item ids, matching values by text.
+
+    ``Itemset.parse`` keeps values as strings while catalog categories
+    may be ints or floats; matching on ``str(category)`` makes
+    ``"priors=2"`` hit the integer category ``2``.
+    """
+    itemset = Itemset.parse(pattern) if isinstance(pattern, str) else pattern
+    if len(itemset) == 0:
+        raise ReproError("injection pattern must name at least one item")
+    key = set()
+    for item in itemset:
+        try:
+            j = catalog.attributes.index(item.attribute)
+        except ValueError:
+            raise ReproError(
+                f"unknown attribute {item.attribute!r}; "
+                f"streaming over {catalog.attributes}"
+            ) from None
+        labels = [str(c) for c in catalog.categories[j]]
+        try:
+            code = labels.index(str(item.value))
+        except ValueError:
+            raise ReproError(
+                f"unknown value {item.value!r} for {item.attribute!r}; "
+                f"choose from {labels}"
+            ) from None
+        key.add(int(catalog.offsets[j]) + code)
+    return frozenset(key)
+
+
+def catalog_for(data: LoadedDataset) -> ItemCatalog:
+    """The item catalog of a loaded dataset's analysis attributes."""
+    return ItemCatalog(
+        data.attributes,
+        [data.table.categorical(n).categories for n in data.attributes],
+    )
+
+
+def replay(
+    data: LoadedDataset | str,
+    metric: str = "fpr",
+    batch_size: int = 256,
+    window: int = 512,
+    step: int | None = None,
+    min_support: float = 0.1,
+    algorithm: str = "bitset",
+    drift: DriftConfig | None = None,
+    injection: DriftInjection | None = None,
+    seed: int = 0,
+    max_rows: int | None = None,
+    monitor: DivergenceMonitor | None = None,
+) -> ReplayReport:
+    """Stream a dataset through a monitor in shuffled batches.
+
+    Parameters mirror the monitor's; ``injection`` adds the synthetic
+    drift, ``max_rows`` truncates the replay (useful to keep tests
+    fast), ``seed`` fixes both the dataset load (for registry names)
+    and the shuffle. A pre-configured ``monitor`` may be supplied;
+    otherwise one is built from the mining/window/drift parameters.
+    """
+    if isinstance(data, str):
+        data = load(data, seed=seed)
+    if data.pred_column is None and metric != "posr":
+        raise ReproError(
+            f"dataset {data.name!r} has no predictions; metric {metric!r} "
+            "needs them"
+        )
+    catalog = catalog_for(data)
+    matrix = data.table.encoded_matrix(data.attributes)
+    truth = data.truth_array()
+    pred = (
+        np.asarray(
+            data.table.categorical(data.pred_column).values_as_objects()
+        ).astype(bool)
+        if data.pred_column is not None
+        else truth
+    )
+    outcome = outcome_metric(metric)(truth, pred)
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(data.n_rows)
+    if max_rows is not None:
+        order = order[: max(0, int(max_rows))]
+    n = len(order)
+    stream_matrix = matrix[order]
+    stream_outcome = outcome[order].copy()
+
+    report = ReplayReport(
+        monitor=monitor
+        if monitor is not None
+        else DivergenceMonitor(
+            catalog,
+            metric=metric,
+            window=window,
+            step=step,
+            min_support=min_support,
+            algorithm=algorithm,
+            drift=drift,
+        ),
+        n_rows=n,
+        n_batches=0,
+    )
+    if injection is not None:
+        key = resolve_pattern_key(catalog, injection.pattern)
+        at = int(round(injection.at_fraction * n))
+        covered = np.ones(n, dtype=bool)
+        for item_id in key:
+            j = catalog.column_of(item_id)
+            code = item_id - int(catalog.offsets[j])
+            covered &= stream_matrix[:, j] == code
+        flip_from = FALSE if injection.raise_rate else TRUE
+        flip_to = TRUE if injection.raise_rate else FALSE
+        flip = covered & (stream_outcome == flip_from)
+        flip[:at] = False
+        stream_outcome[flip] = flip_to
+        report.injected_pattern = str(
+            Itemset.parse(injection.pattern)
+            if isinstance(injection.pattern, str)
+            else injection.pattern
+        )
+        report.injected_key = key
+        report.injection_row = at
+        report.injected_rows = int(flip.sum())
+        report.injection_window = next(
+            (
+                w.index
+                for w in report.monitor.policy.windows(n)
+                if w.stop > at
+            ),
+            None,
+        )
+
+    for start in range(0, n, max(1, int(batch_size))):
+        checkpoint("stream.replay")
+        stop = min(start + batch_size, n)
+        report.monitor.ingest(
+            stream_matrix[start:stop], outcome=stream_outcome[start:stop]
+        )
+        report.n_batches += 1
+    return report

@@ -1,0 +1,82 @@
+"""Window policies over the ingestion buffer.
+
+A policy maps the number of rows ingested so far to the sequence of
+*complete* windows — half-open row ranges ``[start, stop)`` — that the
+monitor should have mined. Policies are pure row arithmetic: the buffer
+holds the data, the monitor tracks which window indices it already
+processed, and re-invoking :meth:`WindowPolicy.windows` after more rows
+arrive only appends new windows (window ``i`` never moves).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class Window:
+    """One materializable window: ``index``-th range ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class WindowPolicy:
+    """Deterministic layout of complete windows over a row stream."""
+
+    def windows(self, n_rows: int) -> Iterator[Window]:
+        """Yield every complete window within the first ``n_rows`` rows."""
+        raise NotImplementedError
+
+    def windows_from(self, first_index: int, n_rows: int) -> Iterator[Window]:
+        """Complete windows starting at window ``first_index``."""
+        for window in self.windows(n_rows):
+            if window.index >= first_index:
+                yield window
+
+
+class SlidingWindows(WindowPolicy):
+    """Fixed-size windows advancing by ``step`` rows.
+
+    ``step < size`` overlaps consecutive windows, ``step == size`` tiles
+    them (tumbling), ``step > size`` leaves gaps (sampling). Window
+    ``i`` covers ``[i * step, i * step + size)`` and becomes complete
+    once the buffer holds its last row.
+    """
+
+    def __init__(self, size: int, step: int | None = None) -> None:
+        if size < 1:
+            raise ReproError(f"window size must be >= 1, got {size}")
+        step = size if step is None else step
+        if step < 1:
+            raise ReproError(f"window step must be >= 1, got {step}")
+        self.size = int(size)
+        self.step = int(step)
+
+    def windows(self, n_rows: int) -> Iterator[Window]:
+        index = 0
+        while index * self.step + self.size <= n_rows:
+            start = index * self.step
+            yield Window(index, start, start + self.size)
+            index += 1
+
+    def __repr__(self) -> str:
+        return f"SlidingWindows(size={self.size}, step={self.step})"
+
+
+class TumblingWindows(SlidingWindows):
+    """Non-overlapping back-to-back windows (``step == size``)."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size, size)
+
+    def __repr__(self) -> str:
+        return f"TumblingWindows(size={self.size})"

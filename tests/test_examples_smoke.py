@@ -85,3 +85,10 @@ def test_bias_mitigation(capsys):
     out = run_example("bias_mitigation", capsys)
     assert "before mitigation" in out
     assert "improvement" in out
+
+
+def test_streaming_monitor(capsys):
+    out = run_example("streaming_monitor", capsys)
+    assert "window timeline" in out
+    assert "drift alerts" in out
+    assert "injected drift detected in window" in out

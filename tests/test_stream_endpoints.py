@@ -1,0 +1,200 @@
+"""Tests for the server's streaming monitor endpoints."""
+
+import json
+import threading
+import urllib.request
+from urllib.error import HTTPError
+
+import numpy as np
+import pytest
+
+from repro.app.server import create_server
+from repro.datasets import load
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server = create_server(port=0, seed=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def compas_batches():
+    """Pre-encoded compas rows as JSON-ready records plus labels."""
+    data = load("compas", seed=0)
+    columns = {
+        name: data.table.categorical(name).values_as_objects()
+        for name in data.attributes
+    }
+    truth = data.truth_array()
+    pred = np.asarray(
+        data.table.categorical(data.pred_column).values_as_objects()
+    ).astype(bool)
+    rows = [
+        {name: str(columns[name][i]) for name in data.attributes}
+        for i in range(600)
+    ]
+    return rows, truth[:600].tolist(), pred[:600].tolist()
+
+
+def get_json(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post_json(url: str, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def batch_payload(compas_batches, start, stop):
+    rows, truth, pred = compas_batches
+    return {
+        "rows": rows[start:stop],
+        "truth": truth[start:stop],
+        "pred": pred[start:stop],
+    }
+
+
+class TestMonitorLifecycle:
+    def test_status_inactive_before_first_ingest(self, server_url):
+        status, data = get_json(server_url + "/api/monitor/status")
+        assert status == 200
+        assert data == {"active": False}
+        status, data = get_json(server_url + "/api/monitor/alerts")
+        assert status == 200
+        assert data == {"active": False, "alerts": [], "next": 0}
+
+    def test_ingest_creates_session_and_mines_windows(
+        self, server_url, compas_batches
+    ):
+        status, first = post_json(
+            server_url
+            + "/api/monitor/ingest?reset=1&dataset=compas&metric=fpr"
+            + "&window=256&support=0.15",
+            batch_payload(compas_batches, 0, 300),
+        )
+        assert status == 200
+        assert first["ingested"] == 300
+        assert first["rows"] == 300
+        assert first["windows"] == 1
+        # config params are honored on creation only; this append
+        # reuses the session
+        status, second = post_json(
+            server_url + "/api/monitor/ingest",
+            batch_payload(compas_batches, 300, 600),
+        )
+        assert status == 200
+        assert second["rows"] == 600
+        assert second["windows"] == 2
+        assert isinstance(second["new_alerts"], list)
+
+        status, snapshot = get_json(server_url + "/api/monitor/status")
+        assert status == 200
+        assert snapshot["active"] is True
+        assert snapshot["dataset"] == "compas"
+        assert snapshot["rows_ingested"] == 600
+        assert snapshot["windows_mined"] == 2
+        assert snapshot["config"]["window"] == 256
+        assert snapshot["config"]["min_support"] == 0.15
+        assert snapshot["latest_window"]["index"] == 1
+
+    def test_alerts_endpoint_paginates_with_since(
+        self, server_url, compas_batches
+    ):
+        status, data = get_json(server_url + "/api/monitor/alerts")
+        assert status == 200
+        assert data["active"] is True
+        assert data["next"] == len(data["alerts"])
+        for seq, alert in enumerate(data["alerts"]):
+            assert alert["seq"] == seq
+            assert alert["kind"] in {"divergence_shift", "rank_churn"}
+        cursor = data["next"]
+        status, tail = get_json(
+            server_url + f"/api/monitor/alerts?since={cursor}"
+        )
+        assert status == 200
+        assert tail["alerts"] == []
+        assert tail["next"] == cursor
+
+    def test_reset_discards_session(self, server_url, compas_batches):
+        status, data = post_json(
+            server_url + "/api/monitor/ingest?reset=1&window=128",
+            batch_payload(compas_batches, 0, 150),
+        )
+        assert status == 200
+        assert data["rows"] == 150
+        assert data["windows"] == 1
+        _, snapshot = get_json(server_url + "/api/monitor/status")
+        assert snapshot["config"]["window"] == 128
+
+
+class TestMonitorValidation:
+    def test_bad_window_is_400(self, server_url, compas_batches):
+        status, data = post_json(
+            server_url + "/api/monitor/ingest?reset=1&window=1",
+            batch_payload(compas_batches, 0, 10),
+        )
+        assert status == 400
+        assert "window" in data["error"]
+
+    def test_bad_alert_threshold_is_400(self, server_url, compas_batches):
+        status, data = post_json(
+            server_url + "/api/monitor/ingest?reset=1&alert_delta=-1",
+            batch_payload(compas_batches, 0, 10),
+        )
+        assert status == 400
+        assert "alert threshold" in data["error"]
+
+    def test_unknown_dataset_is_400(self, server_url, compas_batches):
+        status, data = post_json(
+            server_url + "/api/monitor/ingest?reset=1&dataset=mnist",
+            batch_payload(compas_batches, 0, 10),
+        )
+        assert status == 400
+        assert "unknown dataset" in data["error"]
+
+    def test_malformed_bodies_are_400(self, server_url, compas_batches):
+        url = server_url + "/api/monitor/ingest?reset=1"
+        rows, truth, pred = compas_batches
+        for payload in (
+            {"rows": [], "truth": [], "pred": []},
+            {"rows": rows[:3], "truth": truth[:2], "pred": pred[:3]},
+            {"rows": rows[:3]},
+            ["not", "an", "object"],
+        ):
+            status, data = post_json(url, payload)
+            assert status == 400, payload
+            assert "error" in data
+
+    def test_unknown_attribute_value_is_400(
+        self, server_url, compas_batches
+    ):
+        rows, truth, pred = compas_batches
+        bad = dict(rows[0], race="Martian")
+        status, data = post_json(
+            server_url + "/api/monitor/ingest?reset=1",
+            {"rows": [bad], "truth": truth[:1], "pred": pred[:1]},
+        )
+        assert status == 400
+        assert "Martian" in data["error"]
+
+    def test_invalid_since_is_400(self, server_url):
+        status, data = get_json(
+            server_url + "/api/monitor/alerts?since=abc"
+        )
+        assert status == 400
+        assert "since" in data["error"]

@@ -1,0 +1,303 @@
+"""Tests for window policies, drift scoring, the divergence monitor and
+the ``monitor`` CLI — including the drift-detection acceptance check:
+an injected drift must be alerted within two windows while a no-drift
+control at the same thresholds stays silent."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.divergence import DivergenceExplorer
+from repro.core.outcomes import FALSE, TRUE
+from repro.exceptions import ReproError
+from repro.fpm.transactions import ItemCatalog
+from repro.stream import (
+    DivergenceMonitor,
+    DriftConfig,
+    DriftInjection,
+    SlidingWindows,
+    TumblingWindows,
+    rank_churn,
+    replay,
+    resolve_pattern_key,
+    score_drift,
+)
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+# Thresholds used by the acceptance tests: strict enough that the
+# stationary compas replay fires nothing, loose enough that the
+# injected regime change (delta ~0.45, t ~11-31) is unmistakable.
+STRICT = DriftConfig(min_delta=0.3, min_t=8.0, churn_threshold=1.5)
+
+
+class TestWindowPolicies:
+    def test_tumbling_layout(self):
+        windows = list(TumblingWindows(4).windows(10))
+        assert [(w.index, w.start, w.stop) for w in windows] == [
+            (0, 0, 4),
+            (1, 4, 8),
+        ]
+        assert all(w.size == 4 for w in windows)
+
+    def test_sliding_layout(self):
+        windows = list(SlidingWindows(4, 2).windows(10))
+        assert [(w.start, w.stop) for w in windows] == [
+            (0, 4),
+            (2, 6),
+            (4, 8),
+            (6, 10),
+        ]
+
+    def test_windows_from_appends_only(self):
+        policy = SlidingWindows(4, 2)
+        first = list(policy.windows(6))
+        later = list(policy.windows_from(len(first), 10))
+        assert [w.index for w in first] == [0, 1]
+        assert [w.index for w in later] == [2, 3]
+        # window i never moves as rows arrive
+        assert list(policy.windows(10))[:2] == first
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            SlidingWindows(0)
+        with pytest.raises(ReproError):
+            SlidingWindows(4, 0)
+
+
+def posr_result(seed, subgroup_rate):
+    """A divergence result over one binary attribute whose ``a=0``
+    subgroup has the given positive rate (other rows: rate 0.5)."""
+    rng = np.random.default_rng(seed)
+    n = 400
+    a = rng.integers(0, 2, n)
+    rate = np.where(a == 0, subgroup_rate, 0.5)
+    cls = (rng.random(n) < rate).astype(int)
+    table = Table(
+        [
+            CategoricalColumn("a", a, [0, 1]),
+            CategoricalColumn("class", cls, [0, 1]),
+        ]
+    )
+    return DivergenceExplorer(table, "class", None).explore(
+        "posr", min_support=0.05
+    )
+
+
+class TestDriftScoring:
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            DriftConfig(min_delta=-0.1)
+        with pytest.raises(ReproError):
+            DriftConfig(min_t=float("nan"))
+        with pytest.raises(ReproError):
+            DriftConfig(top_k=0)
+
+    def test_identical_windows_are_silent(self):
+        result = posr_result(0, 0.1)
+        assert score_drift(result, result, 1, STRICT) == []
+        assert rank_churn(result, result, 10) == 0.0
+
+    def test_shifted_subgroup_fires_named_alert(self):
+        prev = posr_result(0, 0.1)
+        cur = posr_result(1, 0.9)
+        alerts = score_drift(
+            prev, cur, 3, DriftConfig(min_delta=0.3, min_t=5.0, churn_threshold=2.0)
+        )
+        shift = [a for a in alerts if a.kind == "divergence_shift"]
+        assert shift, "expected a divergence_shift alert"
+        named = [a for a in shift if a.itemset == "a=0"]
+        assert named and named[0].window_index == 3
+        assert named[0].delta > 0.3
+        assert named[0].t_statistic > 5.0
+
+    def test_alert_cap_keeps_strongest(self):
+        prev = posr_result(0, 0.1)
+        cur = posr_result(1, 0.9)
+        config = DriftConfig(
+            min_delta=0.01, min_t=0.0, churn_threshold=2.0,
+            max_alerts_per_window=1,
+        )
+        alerts = score_drift(prev, cur, 1, config)
+        shift = [a for a in alerts if a.kind == "divergence_shift"]
+        assert len(shift) == 1
+        uncapped = score_drift(
+            prev, cur, 1,
+            DriftConfig(min_delta=0.01, min_t=0.0, churn_threshold=2.0),
+        )
+        best = max(
+            (a for a in uncapped if a.kind == "divergence_shift"),
+            key=lambda a: abs(a.delta),
+        )
+        assert shift[0].itemset == best.itemset
+
+
+def make_stream(seed, n, positive_rate=0.3):
+    rng = np.random.default_rng(seed)
+    catalog = ItemCatalog(["a", "b"], [[0, 1], [0, 1, 2]])
+    matrix = np.column_stack(
+        [rng.integers(0, 2, n), rng.integers(0, 3, n)]
+    ).astype(np.int32)
+    outcome = np.where(rng.random(n) < positive_rate, TRUE, FALSE)
+    return catalog, matrix, outcome
+
+
+class TestDivergenceMonitor:
+    def test_requires_exactly_one_outcome_form(self):
+        catalog, matrix, outcome = make_stream(0, 10)
+        monitor = DivergenceMonitor(catalog, window=8)
+        with pytest.raises(ReproError):
+            monitor.ingest(matrix)
+        with pytest.raises(ReproError):
+            monitor.ingest(
+                matrix, outcome=outcome, channels=np.zeros((10, 2))
+            )
+
+    def test_windows_mined_as_rows_accumulate(self):
+        catalog, matrix, outcome = make_stream(1, 50)
+        monitor = DivergenceMonitor(catalog, window=20, min_support=0.05)
+        monitor.ingest(matrix[:15], outcome=outcome[:15])
+        assert len(monitor.windows) == 0
+        monitor.ingest(matrix[15:25], outcome=outcome[15:25])
+        assert len(monitor.windows) == 1
+        monitor.ingest(matrix[25:50], outcome=outcome[25:50])
+        assert len(monitor.windows) == 2
+        assert [(w.start, w.stop) for w in monitor.windows] == [
+            (0, 20),
+            (20, 40),
+        ]
+        assert monitor.process_pending() == []
+
+    def test_series_and_status(self):
+        catalog, matrix, outcome = make_stream(2, 60)
+        monitor = DivergenceMonitor(catalog, window=20, min_support=0.05)
+        monitor.ingest(matrix, outcome=outcome)
+        key = frozenset({catalog.item_id("a", 0)})
+        series = monitor.series_of(key)
+        assert [idx for idx, _ in series] == [0, 1, 2]
+        status = monitor.status()
+        assert status["rows_ingested"] == 60
+        assert status["windows_mined"] == 3
+        assert status["config"]["window"] == 20
+        assert status["latest_window"]["index"] == 2
+        latest = monitor.latest()
+        assert latest is not None and latest.index == 2
+
+    def test_result_retention_horizon(self):
+        catalog, matrix, outcome = make_stream(3, 100)
+        monitor = DivergenceMonitor(
+            catalog, window=20, min_support=0.05, keep_results=2
+        )
+        monitor.ingest(matrix, outcome=outcome)
+        assert len(monitor.windows) == 5
+        assert all(w.result is None for w in monitor.windows[:-2])
+        assert all(w.result is not None for w in monitor.windows[-2:])
+        # summaries survive the trim
+        assert all(w.n_patterns > 0 for w in monitor.windows)
+
+
+class TestReplayAcceptance:
+    """The subsystem's acceptance criteria from the issue."""
+
+    PATTERN = "race=African-American"
+
+    def run(self, inject, seed=0):
+        return replay(
+            "compas",
+            metric="fpr",
+            batch_size=512,
+            window=1024,
+            drift=STRICT,
+            injection=(
+                DriftInjection(self.PATTERN, at_fraction=0.5)
+                if inject
+                else None
+            ),
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_injected_drift_detected_within_two_windows(self, seed):
+        report = self.run(inject=True, seed=seed)
+        assert report.injection_window is not None
+        assert report.injected_rows > 0
+        detected = report.detection_window()
+        assert detected is not None, "injected drift was never alerted"
+        assert 0 <= detected - report.injection_window <= 2
+        # the alert names the injected subgroup (or a lattice neighbor)
+        matches = report.matching_alerts()
+        assert matches
+        injected = report.injected_key
+        assert all(
+            a.key <= injected or injected <= a.key for a in matches
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_no_drift_control_is_silent(self, seed):
+        report = self.run(inject=False, seed=seed)
+        assert report.alerts == []
+
+    def test_resolve_pattern_key_errors(self):
+        report = self.run(inject=False)
+        catalog = report.monitor.catalog
+        assert len(resolve_pattern_key(catalog, self.PATTERN)) == 1
+        with pytest.raises(ReproError):
+            resolve_pattern_key(catalog, "nosuch=thing")
+        with pytest.raises(ReproError):
+            resolve_pattern_key(catalog, "race=Martian")
+
+    def test_injection_validation(self):
+        with pytest.raises(ReproError):
+            DriftInjection("race=African-American", at_fraction=1.5)
+
+
+class TestMonitorCLI:
+    ARGS = [
+        "monitor",
+        "--dataset",
+        "compas",
+        "--window",
+        "1024",
+        "--batch-size",
+        "512",
+        "--alert-delta",
+        "0.3",
+        "--alert-t",
+        "8",
+        "--churn",
+        "1.5",
+    ]
+
+    def test_injected_replay_reports_detection(self, capsys):
+        code = main([*self.ARGS, "--inject", "race=African-American"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed compas" in out
+        assert "injected drift into 'race=African-American'" in out
+        assert "injected drift detected in window" in out
+
+    def test_control_replay_is_silent(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "no drift alerts fired" in out
+
+    def test_unknown_injection_pattern_fails(self, capsys):
+        code = main([*self.ARGS, "--inject", "race=Martian"])
+        assert code == 1
+        assert "unknown value" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--window", "1"),
+            ("--step", "0"),
+            ("--batch-size", "0"),
+            ("--alert-delta", "-1"),
+            ("--alert-t", "nan"),
+            ("--churn", "-0.5"),
+        ],
+    )
+    def test_bad_parameters_exit_2(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["monitor", "--dataset", "compas", flag, value])
+        assert excinfo.value.code == 2
