@@ -24,6 +24,13 @@ def main() -> None:
         help="expensive requests admitted at once; excess load is shed "
         "with 503 + Retry-After",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="default mining worker processes: 0 auto, 1 serial, >=2 "
+        "row-sharded (overridable per request via ?workers=)",
+    )
     args = parser.parse_args()
     server = create_server(
         args.host,
@@ -31,6 +38,7 @@ def main() -> None:
         seed=args.seed,
         default_deadline=args.deadline,
         max_concurrent=args.max_concurrent,
+        workers=args.workers,
     )
     host, port = server.server_address[:2]
     print(f"DivExplorer server on http://{host}:{port}/ (Ctrl-C to stop)")

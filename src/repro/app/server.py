@@ -82,6 +82,7 @@ from repro.params import (
     validate_support,
     validate_top,
     validate_window,
+    validate_workers,
 )
 from repro.resilience import CancellationError, DeadlineExceeded, cancel_scope
 from repro.stream import DivergenceMonitor, DriftConfig
@@ -169,11 +170,20 @@ class AppState:
         max_results: int = MAX_RESULTS,
         default_deadline: float | None = None,
         max_concurrent: int = MAX_CONCURRENT,
+        default_workers: int | None = None,
     ) -> None:
         self.seed = seed
         self.max_results = max(1, max_results)
         self.default_deadline = validate_deadline(default_deadline)
         self.max_concurrent = max(1, int(max_concurrent))
+        # Mining worker default (0 auto, 1 serial, >= 2 row-sharded);
+        # per-request ``workers`` params override it. Sharded and serial
+        # runs are bit-identical, so result-cache keys ignore it.
+        self.default_workers = (
+            validate_workers(default_workers)
+            if default_workers is not None
+            else None
+        )
         # Admission ticket pool for expensive endpoints; Bounded so a
         # mismatched release fails loudly instead of widening the gate.
         self.admission = threading.BoundedSemaphore(self.max_concurrent)
@@ -265,9 +275,18 @@ class AppState:
             return self._explorers[dataset]
 
     def _entry(
-        self, dataset: str, metric: str, support: float
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        workers: int | None = None,
     ) -> _CachedExploration:
-        """LRU-cached exploration entry for one configuration."""
+        """LRU-cached exploration entry for one configuration.
+
+        ``workers`` deliberately stays out of the cache key: the
+        sharded engine's merged counts are bit-identical to a serial
+        run, so any cached exploration answers any worker count.
+        """
         key = (dataset, metric, support)
         registry = get_registry()
         with self._lock:
@@ -277,7 +296,11 @@ class AppState:
                 registry.counter("app_cache.hits").inc()
                 return entry
         registry.counter("app_cache.misses").inc()
-        result = self.explorer(dataset).explore(metric, min_support=support)
+        result = self.explorer(dataset).explore(
+            metric,
+            min_support=support,
+            n_workers=workers if workers is not None else self.default_workers,
+        )
         with self._lock:
             # Another thread may have raced us to the same key; keep the
             # first entry so its cached renders survive.
@@ -293,10 +316,14 @@ class AppState:
             return entry
 
     def result(
-        self, dataset: str, metric: str, support: float
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        workers: int | None = None,
     ) -> PatternDivergenceResult:
         """Explore (and cache) one configuration."""
-        return self._entry(dataset, metric, support).result
+        return self._entry(dataset, metric, support, workers).result
 
     def coarser_support(
         self, dataset: str, metric: str, support: float
@@ -320,9 +347,10 @@ class AppState:
         support: float,
         top: int,
         epsilon: float | None = None,
+        workers: int | None = None,
     ) -> tuple[PatternDivergenceResult, list[dict]]:
         """Rendered ``/api/explore`` rows, cached per ``(top, epsilon)``."""
-        entry = self._entry(dataset, metric, support)
+        entry = self._entry(dataset, metric, support, workers)
         render_key = (top, epsilon)
         registry = get_registry()
         with self._lock:
@@ -391,6 +419,11 @@ class _MonitorSession:
             step=validate_step(params.get("step")),
             min_support=validate_support(params.get("support", "0.1")),
             algorithm=params.get("algorithm", "bitset"),
+            n_workers=(
+                validate_workers(params["workers"])
+                if "workers" in params
+                else None
+            ),
             drift=DriftConfig(
                 min_delta=validate_alert_threshold(
                     params.get("alert_delta", "0.15")
@@ -799,15 +832,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _epsilon(params: dict[str, str]) -> float | None:
         return validate_epsilon(params.get("epsilon"))
 
+    @staticmethod
+    def _workers(params: dict[str, str]) -> int | None:
+        """Per-request mining worker count; junk values yield a 400."""
+        raw = params.get("workers")
+        return None if raw is None else validate_workers(raw)
+
     def _result(self, params: dict[str, str]) -> PatternDivergenceResult:
-        return self._state.result(*self._config(params))
+        return self._state.result(
+            *self._config(params), workers=self._workers(params)
+        )
 
     def _explore(self, params: dict[str, str]) -> dict:
         dataset, metric, support = self._config(params)
         top = int(params.get("top", "10"))
         epsilon = self._epsilon(params)
         result, rows = self._state.explore_rows(
-            dataset, metric, support, top, epsilon
+            dataset, metric, support, top, epsilon,
+            workers=self._workers(params),
         )
         return {
             "metric": result.metric,
@@ -1010,6 +1052,7 @@ def create_server(
     max_results: int = AppState.MAX_RESULTS,
     default_deadline: float | None = None,
     max_concurrent: int = AppState.MAX_CONCURRENT,
+    workers: int | None = None,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the exploration server.
 
@@ -1019,6 +1062,9 @@ def create_server(
     does not set its own via the ``deadline`` query parameter or
     ``X-Deadline`` header; ``max_concurrent`` bounds simultaneously
     admitted expensive requests (excess load is shed with ``503``).
+    ``workers`` sets the default mining worker count (0 auto, 1 serial,
+    >= 2 row-sharded); requests override it with a ``workers`` query
+    parameter. Worker counts never change results, only speed.
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.app_state = AppState(  # type: ignore[attr-defined]
@@ -1026,6 +1072,7 @@ def create_server(
         max_results=max_results,
         default_deadline=default_deadline,
         max_concurrent=max_concurrent,
+        default_workers=workers,
     )
     # Pre-register the resilience counters so /api/metrics shows them
     # at zero before the first timeout/shed instead of omitting them.

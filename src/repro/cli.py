@@ -42,6 +42,7 @@ from repro.params import (
     validate_step,
     validate_support,
     validate_window,
+    validate_workers,
 )
 from repro.resilience import DeadlineExceeded, cancel_scope
 from repro.tabular.discretize import discretize_table
@@ -122,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--algorithm", default="bitset",
                        choices=["bitset", "fpgrowth", "apriori", "eclat",
                                 "bruteforce"])
+        p.add_argument("--workers", type=_arg(validate_workers), default=None,
+                       help="mining worker processes: 0 auto, 1 serial, "
+                            ">=2 row-sharded (identical results)")
 
     p_explore = sub.add_parser("explore", help="top divergent patterns")
     add_explore_args(p_explore)
@@ -179,6 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--algorithm", default="bitset",
                        choices=["bitset", "fpgrowth", "apriori", "eclat",
                                 "bruteforce"])
+    p_mon.add_argument("--workers", type=_arg(validate_workers), default=None,
+                       help="mining worker processes for window re-mining: "
+                            "0 auto, 1 serial, >=2 row-sharded")
     p_mon.add_argument("--window", type=_arg(validate_window), default=1024,
                        help="window size in rows")
     p_mon.add_argument("--step", type=_arg(validate_step), default=None,
@@ -305,7 +312,10 @@ def _dispatch(args: argparse.Namespace) -> None:
 
     explorer = _load_explorer(args)
     result = explorer.explore(
-        args.metric, min_support=args.support, algorithm=args.algorithm
+        args.metric,
+        min_support=args.support,
+        algorithm=args.algorithm,
+        n_workers=args.workers,
     )
 
     if args.command == "explore":
@@ -390,6 +400,7 @@ def _run_monitor(args: argparse.Namespace) -> None:
         injection=injection,
         seed=args.seed,
         max_rows=args.max_rows,
+        n_workers=args.workers,
     )
     monitor = report.monitor
     policy = monitor.policy

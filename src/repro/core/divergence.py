@@ -53,6 +53,12 @@ class DivergenceExplorer:
         Cache for completed mining runs; a fresh private
         :class:`~repro.fpm.cache.MiningCache` by default. Pass a shared
         instance to pool cached runs across explorers of the same data.
+    n_workers:
+        Default worker count for mining runs: ``None``/``1`` serial,
+        ``0`` auto (sharded only for large datasets), ``>= 2`` row-
+        sharded across that many processes (:mod:`repro.fpm.sharded`).
+        Sharded results are bit-identical to serial ones, so this is
+        purely a performance knob. Overridable per :meth:`explore` call.
     """
 
     def __init__(
@@ -62,10 +68,12 @@ class DivergenceExplorer:
         pred_column: str | None = None,
         attributes: Sequence[str] | None = None,
         mining_cache: MiningCache | None = None,
+        n_workers: int | None = None,
     ) -> None:
         self.table = table
         self.true_column = true_column
         self.pred_column = pred_column
+        self.n_workers = n_workers
         self.mining_cache = mining_cache if mining_cache is not None else MiningCache()
         # TransactionDataset per metric, so the packed bitmaps and the
         # fingerprint survive across explore() calls.
@@ -109,6 +117,7 @@ class DivergenceExplorer:
         use_cache: bool = True,
         deadline: Deadline | float | None = None,
         cancel_token: CancelToken | None = None,
+        n_workers: int | None = None,
     ) -> PatternDivergenceResult:
         """Run Algorithm 1 and return the full divergence table.
 
@@ -142,17 +151,31 @@ class DivergenceExplorer:
             Optional :class:`~repro.resilience.CancelToken` another
             thread can trigger to abort the exploration cooperatively
             (raises :class:`~repro.resilience.OperationCancelled`).
+        n_workers:
+            Per-call override of the explorer's default worker count
+            (``None`` keeps the default; ``1`` forces serial, ``0``
+            auto, ``>= 2`` row-sharded). Results are identical either
+            way — cached runs are shared across worker counts.
         """
+        workers = n_workers if n_workers is not None else self.n_workers
         with cancel_scope(deadline=deadline, token=cancel_token):
             checkpoint("explore")
             dataset = self._dataset_for(metric)
             if use_cache:
                 frequent = self.mining_cache.mine(
-                    dataset, min_support, algorithm=algorithm, max_length=max_length
+                    dataset,
+                    min_support,
+                    algorithm=algorithm,
+                    max_length=max_length,
+                    n_workers=workers,
                 )
             else:
                 frequent = mine_frequent(
-                    dataset, min_support, algorithm=algorithm, max_length=max_length
+                    dataset,
+                    min_support,
+                    algorithm=algorithm,
+                    max_length=max_length,
+                    n_workers=workers,
                 )
             checkpoint("explore.result")
             return PatternDivergenceResult(

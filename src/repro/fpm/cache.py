@@ -100,6 +100,7 @@ class MiningCache:
         min_support: float,
         algorithm: str = "bitset",
         max_length: int | None = None,
+        n_workers: int | None = None,
     ) -> FrequentItemsets:
         """Like :func:`mine_frequent`, but memoized.
 
@@ -107,6 +108,12 @@ class MiningCache:
         search space: its support is no higher and its length cap no
         tighter. The served result is filtered down to the requested
         thresholds, so callers cannot observe whether they hit or missed.
+
+        ``n_workers`` only affects how a *miss* is computed: the
+        row-sharded engine merges per-shard counts by exact integer
+        addition, so serial and sharded runs are bit-identical and the
+        cache key deliberately excludes the shard plan — an entry mined
+        serially serves a sharded request and vice versa.
         """
         key = (dataset.fingerprint(), algorithm)
         with self._lock:
@@ -137,7 +144,11 @@ class MiningCache:
         if cached is not None:
             return _filter(cached, dataset, min_support, max_length)
         result = mine_frequent(
-            dataset, min_support, algorithm=algorithm, max_length=max_length
+            dataset,
+            min_support,
+            algorithm=algorithm,
+            max_length=max_length,
+            n_workers=n_workers,
         )
         with self._lock:
             self._store(key, _Entry(min_support, max_length, result))

@@ -143,6 +143,7 @@ def mine_frequent(
     min_support: float,
     algorithm: str = "bitset",
     max_length: int | None = None,
+    n_workers: int | None = None,
 ) -> FrequentItemsets:
     """Mine frequent itemsets with the chosen backend.
 
@@ -151,6 +152,14 @@ def mine_frequent(
     ``"eclat"`` or ``"bruteforce"`` (the latter only suitable for small
     data; it exists as a correctness oracle). All backends produce
     identical results.
+
+    ``n_workers`` routes the run through the row-sharded parallel
+    engine (:mod:`repro.fpm.sharded`): ``None`` or ``1`` is serial,
+    ``0`` picks a worker count automatically for large datasets, and
+    any count >= 2 shards unconditionally. Because every backend — and
+    the sharded engine — produces bit-identical results, the requested
+    ``algorithm`` only matters for the serial path; sharded runs are
+    still validated against it by the test suite.
     """
     from repro.fpm.apriori import AprioriMiner
     from repro.fpm.bitset import BitsetMiner
@@ -171,6 +180,21 @@ def mine_frequent(
         raise MiningError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(miners)}"
         ) from None
+    registry = get_registry()
+    if n_workers is not None:
+        from repro.fpm.sharded import mine_sharded, resolve_workers
+
+        workers = resolve_workers(n_workers, dataset)
+        if workers >= 2:
+            checkpoint("fpm.mine.sharded")
+            with span("fpm.mine.sharded"):
+                result = mine_sharded(
+                    dataset, min_support, workers, max_length=max_length
+                )
+            registry.counter("fpm.mine.sharded.runs").inc()
+            registry.counter("fpm.mine.sharded.itemsets").inc(len(result))
+            registry.gauge("fpm.mine.sharded.workers").set(workers)
+            return result
     # Abort before mining starts when the ambient deadline is already
     # spent (e.g. an earlier stage consumed the whole request budget).
     checkpoint(f"fpm.mine.{algorithm}")
@@ -178,7 +202,6 @@ def mine_frequent(
     # /api/metrics and --profile attribute mining cost per algorithm.
     with span(f"fpm.mine.{algorithm}"):
         result = miner_cls().mine(dataset, min_support, max_length=max_length)
-    registry = get_registry()
     registry.counter(f"fpm.mine.{algorithm}.runs").inc()
     registry.counter(f"fpm.mine.{algorithm}.itemsets").inc(len(result))
     return result

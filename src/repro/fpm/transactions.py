@@ -127,6 +127,28 @@ def slice_packed_bits(packed: np.ndarray, start: int, stop: int) -> np.ndarray:
     return out
 
 
+def plan_shards(n_rows: int, n_shards: int) -> list[int]:
+    """Row boundaries for ``n_shards`` near-equal, 64-aligned row shards.
+
+    Returns ``n_shards + 1`` ascending offsets; shard ``i`` covers rows
+    ``[bounds[i], bounds[i + 1])``. Every interior boundary is rounded up
+    to a multiple of 64 so each shard starts on a byte *and* word
+    boundary of the packed bitmaps — :func:`slice_packed_bits` then takes
+    its pure byte-copy fast path and the shard widths reinterpret cleanly
+    as uint64 words. Small datasets degenerate gracefully: trailing
+    shards may be empty (``bounds[i] == bounds[i + 1]``), which the
+    sharded miner treats as zero-count contributors.
+    """
+    if n_shards < 1:
+        raise MiningError(f"n_shards must be >= 1, got {n_shards}")
+    bounds = [
+        min(((i * n_rows // n_shards) + 63) // 64 * 64, n_rows)
+        for i in range(n_shards)
+    ]
+    bounds.append(n_rows)
+    return bounds
+
+
 def _grow_packed(
     packed: np.ndarray, old_bits: int, new_bits: int
 ) -> np.ndarray:

@@ -23,6 +23,7 @@ __all__ = [
     "validate_support",
     "validate_top",
     "validate_window",
+    "validate_workers",
 ]
 
 
@@ -126,6 +127,27 @@ def validate_alert_threshold(value: float | str) -> float:
             f"alert threshold must be finite and >= 0, got {value!r}"
         )
     return threshold
+
+
+def validate_workers(value: int | str) -> int:
+    """Coerce and check a mining worker count: ``workers >= 0``.
+
+    ``0`` means auto (the sharded engine picks a count, staying serial
+    for small datasets); ``1`` is explicitly serial; ``>= 2`` shards the
+    rows across that many worker processes. Float strings like ``"2.5"``
+    are rejected rather than truncated.
+    """
+    try:
+        workers = int(str(value))
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"workers must be an integer >= 0 (0 = auto), got {value!r}"
+        ) from None
+    if workers < 0:
+        raise ReproError(
+            f"workers must be >= 0 (0 = auto), got {value!r}"
+        )
+    return workers
 
 
 def validate_top(value: int | str, minimum: int = 1) -> int:

@@ -15,7 +15,10 @@ Windows over the buffer materialize as real ``TransactionDataset``
 objects through :meth:`StreamBuffer.window_dataset`, with the window's
 packed bitmaps sliced out of the maintained buffers
 (:func:`~repro.fpm.transactions.slice_packed_bits`), so the downstream
-miners, caches and divergence analytics run unchanged on live data.
+miners, caches and divergence analytics run unchanged on live data —
+including the row-sharded parallel engine (:mod:`repro.fpm.sharded`),
+which re-slices a window's packed bitmaps into 64-aligned shards with
+the same primitive when the monitor is configured with ``n_workers``.
 """
 
 from __future__ import annotations

@@ -69,9 +69,11 @@ class DivergenceMonitor:
         ``step < window`` for sliding overlap. A pre-built
         :class:`~repro.stream.window.WindowPolicy` may be passed as
         ``policy`` instead.
-    min_support / algorithm / max_length:
+    min_support / algorithm / max_length / n_workers:
         Mining parameters, identical in meaning to
-        :meth:`~repro.core.divergence.DivergenceExplorer.explore`.
+        :meth:`~repro.core.divergence.DivergenceExplorer.explore`
+        (``n_workers`` routes window re-mining through the row-sharded
+        engine; results are bit-identical to serial runs).
     drift:
         Alert thresholds (:class:`~repro.stream.drift.DriftConfig`).
     mining_cache:
@@ -94,6 +96,7 @@ class DivergenceMonitor:
         policy: WindowPolicy | None = None,
         mining_cache: MiningCache | None = None,
         keep_results: int = 4,
+        n_workers: int | None = None,
     ) -> None:
         self.catalog = catalog
         self.metric = metric
@@ -101,6 +104,7 @@ class DivergenceMonitor:
         self.min_support = float(min_support)
         self.algorithm = algorithm
         self.max_length = max_length
+        self.n_workers = n_workers
         self.drift_config = drift or DriftConfig()
         self.mining_cache = (
             mining_cache if mining_cache is not None else MiningCache(max_entries=8)
@@ -186,6 +190,7 @@ class DivergenceMonitor:
                 self.min_support,
                 algorithm=self.algorithm,
                 max_length=self.max_length,
+                n_workers=self.n_workers,
             )
         result = PatternDivergenceResult(
             frequent, self.catalog, self.metric, self.min_support

@@ -142,6 +142,7 @@ def replay(
     seed: int = 0,
     max_rows: int | None = None,
     monitor: DivergenceMonitor | None = None,
+    n_workers: int | None = None,
 ) -> ReplayReport:
     """Stream a dataset through a monitor in shuffled batches.
 
@@ -189,6 +190,7 @@ def replay(
             min_support=min_support,
             algorithm=algorithm,
             drift=drift,
+            n_workers=n_workers,
         ),
         n_rows=n,
         n_batches=0,

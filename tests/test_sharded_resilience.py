@@ -1,0 +1,205 @@
+"""Deadlines and cancellation through the row-sharded mining engine.
+
+A cancelled sharded mine must abort promptly (the master checkpoints
+between levels and while polling worker replies), *drain* the worker
+pool rather than orphaning it mid-protocol — the pool must be reusable
+immediately — and surface at the server edge as the structured 504
+timeout payload. Worker death must invalidate the pool and raise a
+clean :class:`~repro.exceptions.MiningError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import json
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError
+from repro.fpm import sharded as sharded_mod
+from repro.fpm.miner import mine_frequent
+from repro.fpm.sharded import get_pool, mine_sharded, shutdown_pools
+from repro.fpm.transactions import ItemCatalog, TransactionDataset
+from repro.resilience import (
+    CancelToken,
+    DeadlineExceeded,
+    OperationCancelled,
+    cancel_scope,
+    inject_fault,
+)
+
+
+def make_dataset(n: int = 50_000, seed: int = 0) -> TransactionDataset:
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 3, size=(n, 6), dtype=np.int32)
+    catalog = ItemCatalog(
+        [f"a{j}" for j in range(6)], [[f"v{c}" for c in range(3)]] * 6
+    )
+    outcome = rng.random(n) < 0.5
+    channels = np.stack([outcome, ~outcome], axis=1).astype(np.int64)
+    return TransactionDataset(matrix, catalog, channels)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_pools()
+
+
+class TestDeadline:
+    def test_deadline_aborts_within_twice_budget(self):
+        ds = make_dataset()
+        budget = 0.2
+        started = time.perf_counter()
+        # Each level checkpoint sleeps 0.15s, so the unconstrained mine
+        # (support 0.001, no length cap) far outlives the budget.
+        with inject_fault("fpm.shard", delay=0.15):
+            with pytest.raises(DeadlineExceeded):
+                with cancel_scope(deadline=budget):
+                    mine_sharded(ds, 0.001, 2)
+        elapsed = time.perf_counter() - started
+        # Cooperative abort: the master checkpoints per level and while
+        # polling workers, so expiry surfaces well within ~2x budget.
+        assert elapsed < 2 * budget + 0.5
+
+    def test_pool_drained_and_reusable_after_abort(self):
+        ds = make_dataset()
+        with inject_fault("fpm.shard", delay=0.1):
+            with pytest.raises(DeadlineExceeded):
+                with cancel_scope(deadline=0.3):
+                    mine_sharded(ds, 0.001, 2, max_length=4)
+        pool = get_pool(2)
+        assert pool.alive()
+        assert pool._pending == [0, 0]  # fully drained, not orphaned
+        serial = mine_frequent(ds, 0.1, max_length=2)
+        again = mine_sharded(ds, 0.1, 2, max_length=2)
+        assert len(again) == len(serial)
+
+    def test_no_live_workers_after_shutdown(self):
+        ds = make_dataset(2_000)
+        mine_sharded(ds, 0.1, 2, max_length=2)
+        assert any(p.is_alive() for p in mp.active_children())
+        shutdown_pools()
+        deadline = time.time() + 5
+        while mp.active_children() and time.time() < deadline:
+            time.sleep(0.02)
+        assert not [p for p in mp.active_children() if p.is_alive()]
+
+
+class TestCancelToken:
+    def test_token_cancels_mid_mine(self):
+        ds = make_dataset()
+        token = CancelToken()
+        timer = threading.Timer(0.2, token.cancel)
+        timer.start()
+        try:
+            with inject_fault("fpm.shard", delay=0.1):
+                with pytest.raises(OperationCancelled):
+                    with cancel_scope(token=token):
+                        mine_sharded(ds, 0.001, 2, max_length=4)
+        finally:
+            timer.cancel()
+        pool = get_pool(2)
+        assert pool.alive() and pool._pending == [0, 0]
+
+
+class TestWorkerDeath:
+    def test_dead_idle_pool_is_rebuilt_transparently(self):
+        ds = make_dataset(5_000)
+        mine_sharded(ds, 0.1, 3, max_length=2)  # warm the pool
+        pool = get_pool(3)
+        for proc in pool.procs:
+            proc.terminate()
+            proc.join(timeout=5)
+        # get_pool notices the dead pool and rebuilds before the run.
+        serial = mine_frequent(ds, 0.1, max_length=2)
+        again = mine_sharded(ds, 0.1, 3, max_length=2)
+        assert len(again) == len(serial)
+        assert get_pool(3) is not pool
+
+    def test_worker_death_mid_run_raises_and_discards_pool(self):
+        ds = make_dataset()
+        mine_sharded(ds, 0.1, 3, max_length=2)  # warm the pool
+        pool = get_pool(3)
+        killer = threading.Timer(0.1, pool.procs[1].terminate)
+        killer.start()
+        try:
+            # The slowed, unconstrained mine is mid-protocol when the
+            # worker dies; the failure must surface as a MiningError,
+            # never a hang or an orphaned pool.
+            with inject_fault("fpm.shard", delay=0.05):
+                with pytest.raises(MiningError, match="worker died"):
+                    mine_sharded(ds, 0.001, 3)
+        finally:
+            killer.cancel()
+        fresh = get_pool(3)
+        assert fresh is not pool and fresh.alive()
+        serial = mine_frequent(ds, 0.1, max_length=2)
+        again = mine_sharded(ds, 0.1, 3, max_length=2)
+        assert len(again) == len(serial)
+
+
+class TestServerEdge:
+    @pytest.fixture(scope="class")
+    def base_url(self):
+        from repro.app.server import create_server
+
+        server = create_server(port=0, seed=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+
+    @staticmethod
+    def fetch(url: str, timeout: float = 60):
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def test_bad_workers_param_is_400(self, base_url):
+        for bad in ("-2", "banana", "1.5"):
+            status, payload = self.fetch(
+                base_url
+                + f"/api/explore?dataset=compas&support=0.25&workers={bad}"
+            )
+            assert status == 400
+            assert "workers" in payload["error"]
+
+    def test_sharded_explore_matches_serial(self, base_url):
+        status, serial = self.fetch(
+            base_url + "/api/explore?dataset=compas&support=0.31&top=5"
+        )
+        assert status == 200
+        # Distinct support so the second request misses the app cache
+        # and actually mines through the sharded engine.
+        status, sharded = self.fetch(
+            base_url + "/api/explore?dataset=compas&support=0.32&top=5&workers=2"
+        )
+        assert status == 200
+        assert sharded["patterns"]  # non-trivial result mined sharded
+
+    def test_deadline_mid_sharded_mine_is_structured_504(self, base_url):
+        # Fresh (dataset, metric, support) so nothing cached can serve
+        # a degraded 200; the injected fault slows the sharded levels
+        # past the request deadline.
+        with inject_fault("fpm.shard", delay=0.3):
+            status, payload = self.fetch(
+                base_url
+                + "/api/explore?dataset=compas&metric=fnr&support=0.035"
+                + "&workers=2&deadline=0.2"
+            )
+        assert status == 504
+        assert payload["timeout"] is True
+        assert payload["deadline"] == pytest.approx(0.2)
+        assert "error" in payload
+        # The abort left the shared pool healthy for the next request.
+        pool = get_pool(2)
+        assert pool.alive() and pool._pending == [0, 0]
