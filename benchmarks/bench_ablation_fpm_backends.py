@@ -11,11 +11,11 @@ Every ``explore`` call runs with ``use_cache=False`` so the mining
 cache cannot turn the later backends into cache reads.
 """
 
-import json
 from pathlib import Path
 
 import pytest
 
+from _envelope import write_bench_json
 from repro.experiments.runner import time_call
 from repro.experiments.tables import format_table
 from repro.obs import get_registry, span_rows
@@ -86,7 +86,13 @@ def test_ablation_fpm_backends(benchmark, compas_explorer, report):
         "bitset_speedup_vs_eclat": {str(s): v for s, v in speedups.items()},
         "span_breakdown": span_rows(),
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        JSON_PATH,
+        "fpm_backends",
+        payload,
+        quick=False,
+        speedup=max(speedups.values()),
+    )
 
     # The packed-bitmap backend must beat ECLAT by >= 3x somewhere on
     # the fig6 grid.

@@ -15,10 +15,10 @@ implementation, so the comparison isolates the per-call analytics cost
 — exactly what an interactive session pays after the first query.
 """
 
-import json
 import timeit
 from pathlib import Path
 
+from _envelope import write_bench_json
 from repro.core.corrective import (
     find_corrective_items,
     find_corrective_items_reference,
@@ -137,7 +137,13 @@ def test_ablation_lattice_analytics(benchmark, compas_explorer, report):
         },
         "span_breakdown": span_rows(),
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        JSON_PATH,
+        "lattice_analytics",
+        payload,
+        quick=False,
+        speedup=speedups[0.05],
+    )
 
     # The vectorized analytics must beat the dict walks by >= 5x on the
     # paper's default support.

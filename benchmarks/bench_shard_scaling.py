@@ -17,13 +17,13 @@ merge. Set ``REPRO_BENCH_QUICK=1`` for a smoke-sized run without the
 speedup assertion (used by CI).
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _envelope import write_bench_json
 from repro.core.divergence import DivergenceExplorer
 from repro.experiments.tables import format_table
 from repro.fpm.miner import mine_frequent
@@ -187,7 +187,6 @@ def test_shard_scaling(report):
     report("shard_scaling", format_table(table_rows))
 
     payload = {
-        "quick": QUICK,
         "support": SUPPORT,
         "cardinality": CARD,
         "explore": {
@@ -209,7 +208,13 @@ def test_shard_scaling(report):
         },
         "span_breakdown": span_rows(),
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        JSON_PATH,
+        "shard_scaling",
+        payload,
+        quick=QUICK,
+        speedup=max(r["speedup"] for r in explore_rows),
+    )
     shutdown_pools()
 
     if not QUICK:

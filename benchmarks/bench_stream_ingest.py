@@ -13,12 +13,12 @@ Writes ``BENCH_stream_ingest.json`` at the repo root; set
 speedup assertion (used by CI).
 """
 
-import json
 import os
 from pathlib import Path
 
 import numpy as np
 
+from _envelope import write_bench_json
 from repro.experiments.runner import time_call
 from repro.experiments.tables import format_table
 from repro.fpm.transactions import ItemCatalog, TransactionDataset
@@ -112,19 +112,19 @@ def test_stream_ingest_append_vs_rebuild(benchmark, report):
     )
 
     payload = {
-        "quick": QUICK,
         "total_rows": TOTAL_ROWS,
         "batch_rows": BATCH_ROWS,
         "n_items": catalog.n_items,
         "append_seconds_per_batch": append_seconds,
         "rebuild_seconds": rebuild_seconds,
-        "speedup": speedup,
         "append_timeline": [
             {"rows_accumulated": n, "seconds": t} for n, t in append_times
         ],
         "span_breakdown": span_rows(),
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        JSON_PATH, "stream_ingest", payload, quick=QUICK, speedup=speedup
+    )
 
     if not QUICK:
         assert TOTAL_ROWS >= 50_000

@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro import datasets, fairness
+from repro.approx import ApproxResult, progressive_explore
 from repro.core.compare import PatternShift, compare_results, regressions
 from repro.core.continuous import ContinuousDivergenceExplorer
 from repro.core.multi import explore_multi
@@ -53,6 +54,7 @@ from repro.tabular.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApproxResult",
     "BinSpec",
     "ContinuousDivergenceExplorer",
     "CorrectiveItem",
@@ -85,6 +87,7 @@ __all__ = [
     "global_item_divergence",
     "individual_item_divergence",
     "outcome_metric",
+    "progressive_explore",
     "prune_redundant",
     "regressions",
     "result_from_json",

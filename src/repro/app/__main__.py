@@ -31,7 +31,17 @@ def main() -> None:
         help="default mining worker processes: 0 auto, 1 serial, >=2 "
         "row-sharded (overridable per request via ?workers=)",
     )
+    parser.add_argument(
+        "--approx-auto-rows",
+        type=int,
+        default=None,
+        help="dataset size from which deadline-carrying explore requests "
+        "are answered by progressive sampling (default 200000)",
+    )
     args = parser.parse_args()
+    extra = {}
+    if args.approx_auto_rows is not None:
+        extra["approx_auto_rows"] = args.approx_auto_rows
     server = create_server(
         args.host,
         args.port,
@@ -39,6 +49,7 @@ def main() -> None:
         default_deadline=args.deadline,
         max_concurrent=args.max_concurrent,
         workers=args.workers,
+        **extra,
     )
     host, port = server.server_address[:2]
     print(f"DivExplorer server on http://{host}:{port}/ (Ctrl-C to stop)")
@@ -46,6 +57,8 @@ def main() -> None:
         server.serve_forever()
     except KeyboardInterrupt:
         server.shutdown()
+    finally:
+        server.server_close()
 
 
 if __name__ == "__main__":

@@ -46,6 +46,20 @@ Resilience (see ``docs/resilience.md``):
 - Counters ``resilience.timeouts`` / ``resilience.shed`` /
   ``resilience.degraded`` / ``resilience.cancelled`` surface in
   ``/api/metrics``.
+
+Approximate exploration (see ``docs/approx.md``): ``/api/explore``
+accepts ``sample=`` (fraction, row count or ``auto``) and
+``confidence=`` and then serves a sampled divergence table with
+credible intervals (``approximate: true``, ``sample_rows``,
+``total_rows``, ``stable_ranks``, per-row ``ci_low``/``ci_high``/
+``stable``). On datasets of at least ``approx_auto_rows`` rows a
+request carrying a deadline and no cached exact result is served
+sampled *pre-emptively*, and a deadline that expires mid-exploration
+is answered with a fresh bounded-budget sampled attempt *before* the
+coarser-support degrade path; both schedule a background refinement
+that doubles the sample until exact and then installs the exact result
+into the cache. Counters ``approx.rounds`` / ``approx.refinements`` /
+``approx.served_sampled`` surface in ``/api/metrics``.
 """
 
 from __future__ import annotations
@@ -76,15 +90,22 @@ from repro.exceptions import ReproError
 from repro.obs import get_registry
 from repro.params import (
     validate_alert_threshold,
+    validate_confidence,
     validate_deadline,
     validate_epsilon,
+    validate_sample,
     validate_step,
     validate_support,
     validate_top,
     validate_window,
     validate_workers,
 )
-from repro.resilience import CancellationError, DeadlineExceeded, cancel_scope
+from repro.resilience import (
+    CancellationError,
+    CancelToken,
+    DeadlineExceeded,
+    cancel_scope,
+)
 from repro.stream import DivergenceMonitor, DriftConfig
 from repro.stream.runner import catalog_for
 
@@ -163,6 +184,10 @@ class AppState:
 
     MAX_RESULTS = 32
     MAX_CONCURRENT = 8
+    # Datasets below this row count never auto-sample: exact mining is
+    # already interactive there, and small-data deadline handling must
+    # keep its established degrade/504 semantics.
+    APPROX_AUTO_ROWS = 200_000
 
     def __init__(
         self,
@@ -171,11 +196,13 @@ class AppState:
         default_deadline: float | None = None,
         max_concurrent: int = MAX_CONCURRENT,
         default_workers: int | None = None,
+        approx_auto_rows: int = APPROX_AUTO_ROWS,
     ) -> None:
         self.seed = seed
         self.max_results = max(1, max_results)
         self.default_deadline = validate_deadline(default_deadline)
         self.max_concurrent = max(1, int(max_concurrent))
+        self.approx_auto_rows = max(1, int(approx_auto_rows))
         # Mining worker default (0 auto, 1 serial, >= 2 row-sharded);
         # per-request ``workers`` params override it. Sharded and serial
         # runs are bit-identical, so result-cache keys ignore it.
@@ -196,6 +223,12 @@ class AppState:
         # ingest/status internally with its own RLock.
         self._monitor: _MonitorSession | None = None
         self._monitor_lock = threading.Lock()
+        # Background refinement of auto-sampled answers: in-flight keys
+        # (deduplicated under ``_lock``) and one shared cancel token the
+        # server close path triggers so refinement threads wind down
+        # with the server instead of mining into a dead cache.
+        self._refining: set[tuple] = set()
+        self._refine_token = CancelToken()
 
     def monitor_session(
         self, params: dict[str, str], create: bool = False
@@ -339,6 +372,119 @@ class AppState:
                 if key[0] == dataset and key[1] == metric and key[2] > support
             ]
         return min(candidates, default=None)
+
+    def has_entry(self, dataset: str, metric: str, support: float) -> bool:
+        """Whether an exact exploration is already cached for the key.
+
+        Auto-sampling only pre-empts *uncached* exact work — a cached
+        entry is served directly, sampled or not requested.
+        """
+        with self._lock:
+            return (dataset, metric, support) in self._cache
+
+    def store_result(
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        result: PatternDivergenceResult,
+    ) -> None:
+        """Install an exact result into the LRU (refinement completion).
+
+        Keeps an existing entry if one raced in (its rendered rows
+        survive); only plain exact results belong here — sampled tables
+        must never answer an exact cache key.
+        """
+        key = (dataset, metric, support)
+        registry = get_registry()
+        with self._lock:
+            if key not in self._cache:
+                self._cache[key] = _CachedExploration(result)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.max_results:
+                self._cache.popitem(last=False)
+                registry.counter("app_cache.evictions").inc()
+            registry.gauge("app_cache.entries").set(len(self._cache))
+
+    def sampled_result(
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        sample: float | int | str,
+        confidence: float,
+        workers: int | None = None,
+    ) -> PatternDivergenceResult:
+        """Explore a seeded sample of one configuration.
+
+        Deliberately bypasses the exact result cache: approximate
+        tables are keyed by sample size inside the explorer (design +
+        sampled-dataset caches) and the mining cache, so repeats stay
+        cheap without ever aliasing an exact entry.
+        """
+        return self.explorer(dataset).explore(
+            metric,
+            min_support=support,
+            n_workers=workers if workers is not None else self.default_workers,
+            sample=sample,
+            confidence=confidence,
+            sample_seed=self.seed,
+        )
+
+    def schedule_refinement(
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        workers: int | None = None,
+    ) -> bool:
+        """Start a background thread refining a sampled answer to exact.
+
+        The driver doubles the sample between resilience checkpoints
+        until the full dataset is reached, then installs the exact
+        result via :meth:`store_result` — the next request for the same
+        configuration is a plain cache hit. At most one refinement per
+        key runs at a time, and none is started when the exact entry
+        already exists. Returns whether a thread was started.
+        """
+        key = (dataset, metric, support)
+        with self._lock:
+            if key in self._refining or key in self._cache:
+                return False
+            self._refining.add(key)
+
+        def run() -> None:
+            from repro.approx import progressive_explore
+
+            try:
+                result = progressive_explore(
+                    self.explorer(dataset),
+                    metric,
+                    min_support=support,
+                    n_workers=(
+                        workers if workers is not None else self.default_workers
+                    ),
+                    cancel_token=self._refine_token,
+                    stop_when_converged=False,
+                )
+                if not getattr(result, "approximate", False):
+                    self.store_result(dataset, metric, support, result)
+            except ReproError:
+                # Cancellation (server close) or a mining failure: the
+                # sampled answer already served stands; no cache entry.
+                pass
+            finally:
+                with self._lock:
+                    self._refining.discard(key)
+
+        threading.Thread(
+            target=run, daemon=True, name=f"approx-refine:{dataset}:{metric}"
+        ).start()
+        return True
+
+    def close(self) -> None:
+        """Stop background refinement threads at their next checkpoint."""
+        self._refine_token.cancel("server closed")
 
     def explore_rows(
         self,
@@ -700,10 +846,15 @@ class _Handler(BaseHTTPRequestHandler):
         params: dict[str, str],
         deadline: float | None,
     ) -> None:
-        """Deadline expiry: degrade to a cached coarser-support result
-        when one exists, otherwise a structured ``504`` timeout."""
+        """Deadline expiry, in order of preference: a fresh sampled
+        answer with credible intervals (large datasets), then a cached
+        coarser-support degrade, then a structured ``504`` timeout."""
         registry = get_registry()
         registry.counter("resilience.timeouts").inc()
+        sampled = self._sampled_fallback(path, params, deadline)
+        if sampled is not None:
+            self._send_json(sampled)
+            return
         degraded = self._degraded_payload(path, params)
         if degraded is not None:
             registry.counter("resilience.degraded").inc()
@@ -713,6 +864,55 @@ class _Handler(BaseHTTPRequestHandler):
         if deadline is not None:
             payload["deadline"] = deadline
         self._send_json(payload, 504, headers={"Retry-After": "1"})
+
+    def _sampled_fallback(
+        self,
+        path: str,
+        params: dict[str, str],
+        deadline: float | None,
+    ) -> dict | None:
+        """A bounded-budget sampled answer for an expired exploration.
+
+        Preferred over the coarser-support degrade: it answers the
+        *requested* support with quantified error instead of a coarser
+        question exactly. Only for ``/api/explore`` on datasets large
+        enough to auto-sample (small datasets keep the established
+        degrade/504 behavior), and never when the timed-out request was
+        itself sampled. Runs under its own fresh budget (at most the
+        request deadline, capped at one second) so a pathologically
+        slow environment still falls through to degrade/504 within the
+        established latency envelope.
+        """
+        if path != "/api/explore" or "sample" in params:
+            return None
+        try:
+            dataset, metric, support = self._config(params)
+            top = int(params.get("top", "10"))
+            epsilon = self._epsilon(params)
+            workers = self._workers(params)
+            confidence = validate_confidence(params.get("confidence", "0.95"))
+        except (ReproError, ValueError):
+            return None
+        state = self._state
+        try:
+            explorer = state.explorer(dataset)
+        except ReproError:
+            return None
+        if explorer.table.n_rows < state.approx_auto_rows:
+            return None
+        budget = min(deadline if deadline is not None else 1.0, 1.0)
+        try:
+            with cancel_scope(deadline=budget):
+                payload = self._explore_sampled(
+                    dataset, metric, support, top, epsilon, "auto",
+                    confidence, workers,
+                )
+        except (CancellationError, ReproError, ValueError):
+            return None
+        if payload is None:
+            return None
+        state.schedule_refinement(dataset, metric, support, workers)
+        return payload
 
     def _degraded_payload(
         self, path: str, params: dict[str, str]
@@ -847,9 +1047,32 @@ class _Handler(BaseHTTPRequestHandler):
         dataset, metric, support = self._config(params)
         top = int(params.get("top", "10"))
         epsilon = self._epsilon(params)
+        workers = self._workers(params)
+        sample = validate_sample(params.get("sample"))
+        confidence = validate_confidence(params.get("confidence", "0.95"))
+        auto = False
+        if sample is None and self._should_auto_sample(
+            dataset, metric, support, params
+        ):
+            sample, auto = "auto", True
+        if sample is not None:
+            payload = self._explore_sampled(
+                dataset, metric, support, top, epsilon, sample, confidence,
+                workers,
+            )
+            if payload is not None:
+                if auto:
+                    # The sampled answer is already on the wire's worth;
+                    # refine to exact in the background so the next
+                    # request is a plain cache hit.
+                    self._state.schedule_refinement(
+                        dataset, metric, support, workers
+                    )
+                return payload
+            # The requested sample covers the dataset: fall through to
+            # the exact path (and its cache) below.
         result, rows = self._state.explore_rows(
-            dataset, metric, support, top, epsilon,
-            workers=self._workers(params),
+            dataset, metric, support, top, epsilon, workers=workers,
         )
         return {
             "metric": result.metric,
@@ -857,6 +1080,89 @@ class _Handler(BaseHTTPRequestHandler):
             "n_patterns": len(result) - 1,
             "patterns": rows,
         }
+
+    def _explore_sampled(
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        top: int,
+        epsilon: float | None,
+        sample: float | int | str,
+        confidence: float,
+        workers: int | None,
+    ) -> dict | None:
+        """Sampled ``/api/explore`` payload with credible intervals.
+
+        Returns ``None`` when the resolved sample covers the whole
+        dataset (the caller then serves the exact, cacheable path).
+        Row ``stable`` flags certify the row's rank against the whole
+        sampled table for the default ranking; under ``epsilon``
+        pruning they certify the order among the displayed rows.
+        """
+        result = self._state.sampled_result(
+            dataset, metric, support, sample, confidence, workers
+        )
+        if not getattr(result, "approximate", False):
+            return None
+        if epsilon is not None:
+            records = prune_redundant(result, epsilon)[:top]
+            keys = [result.key_of(r.itemset) for r in records]
+            stable = result.stable_flags_for_keys(keys)
+        else:
+            records = result.top_k(top)
+            keys = [result.key_of(r.itemset) for r in records]
+            stable = result.stable_ranks(top)
+        rows = []
+        for record, key, flag in zip(records, keys, stable):
+            low, high = result.ci_for_key(key)
+            rows.append(
+                {
+                    "itemset": str(record.itemset),
+                    "support": _json_safe(record.support),
+                    "divergence": _json_safe(record.divergence),
+                    "t": _json_safe(record.t_statistic),
+                    "t_signed": _json_safe(record.t_signed),
+                    "ci_low": _json_safe(low),
+                    "ci_high": _json_safe(high),
+                    "stable": bool(flag),
+                }
+            )
+        get_registry().counter("approx.served_sampled").inc()
+        payload = {
+            "metric": result.metric,
+            "global_rate": _json_safe(result.global_rate),
+            "n_patterns": len(result) - 1,
+            "patterns": rows,
+        }
+        payload.update(result.as_meta(top))
+        return payload
+
+    def _should_auto_sample(
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        params: dict[str, str],
+    ) -> bool:
+        """Pre-emptive auto-sampling decision for ``/api/explore``.
+
+        Only when the request carries a deadline (explicit or server
+        default), no exact result is cached for the key, and the
+        dataset is large enough (``approx_auto_rows``) that exact
+        mining plausibly cannot meet an interactive budget. Small
+        datasets keep the established exact/degrade/504 semantics.
+        """
+        state = self._state
+        if self._deadline(params) is None:
+            return False
+        if state.has_entry(dataset, metric, support):
+            return False
+        try:
+            explorer = state.explorer(dataset)
+        except ReproError:
+            return False  # let the exact path raise the clear 400
+        return explorer.table.n_rows >= state.approx_auto_rows
 
     def _explain(self, params: dict[str, str]) -> dict:
         result = self._result(params)
@@ -1045,6 +1351,28 @@ class _Handler(BaseHTTPRequestHandler):
         self._record_request(200)
 
 
+class _AppServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that tears its workers down deterministically.
+
+    ``server_close`` cancels background refinement threads (at their
+    next resilience checkpoint) and shuts down the sharded-mining
+    worker pools — relying on ``atexit`` alone would leave forked
+    children alive for the rest of any embedding process (tests,
+    notebooks) that closes the server without exiting. Pools are
+    rebuilt transparently on next use, so closing one server never
+    breaks another in the same process.
+    """
+
+    def server_close(self) -> None:
+        state = getattr(self, "app_state", None)
+        if state is not None:
+            state.close()
+        super().server_close()
+        from repro.fpm.sharded import shutdown_pools
+
+        shutdown_pools()
+
+
 def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
@@ -1053,6 +1381,7 @@ def create_server(
     default_deadline: float | None = None,
     max_concurrent: int = AppState.MAX_CONCURRENT,
     workers: int | None = None,
+    approx_auto_rows: int = AppState.APPROX_AUTO_ROWS,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the exploration server.
 
@@ -1065,17 +1394,22 @@ def create_server(
     ``workers`` sets the default mining worker count (0 auto, 1 serial,
     >= 2 row-sharded); requests override it with a ``workers`` query
     parameter. Worker counts never change results, only speed.
+    ``approx_auto_rows`` is the dataset size from which deadline-carrying
+    ``/api/explore`` requests are served by progressive sampling instead
+    of exact mining (see ``docs/approx.md``).
     """
-    server = ThreadingHTTPServer((host, port), _Handler)
+    server = _AppServer((host, port), _Handler)
     server.app_state = AppState(  # type: ignore[attr-defined]
         seed=seed,
         max_results=max_results,
         default_deadline=default_deadline,
         max_concurrent=max_concurrent,
         default_workers=workers,
+        approx_auto_rows=approx_auto_rows,
     )
-    # Pre-register the resilience counters so /api/metrics shows them
-    # at zero before the first timeout/shed instead of omitting them.
+    # Pre-register the resilience/stream/approx counters so
+    # /api/metrics shows them at zero before first use instead of
+    # omitting them.
     registry = get_registry()
     for name in (
         "resilience.timeouts",
@@ -1087,6 +1421,9 @@ def create_server(
         "stream.windows",
         "stream.alerts",
         "stream.buffer_growths",
+        "approx.rounds",
+        "approx.refinements",
+        "approx.served_sampled",
     ):
         registry.counter(name)
     return server

@@ -1,0 +1,28 @@
+"""Progressive sampled exploration with credible-interval guarantees.
+
+The approximate counterpart of exact ``DivergenceExplorer.explore``:
+mine a seeded packed-bitmap row sample (:mod:`repro.approx.sampler`),
+report every divergence with a finite-population-corrected Beta
+credible interval, and refine by doubling the sample until the top-k
+ranking is statistically guaranteed or the sample is the dataset
+(:mod:`repro.approx.engine`). See ``docs/approx.md``.
+"""
+
+from repro.approx.engine import ApproxResult, progressive_explore
+from repro.approx.sampler import (
+    AUTO_SAMPLE_ROWS,
+    SampleDesign,
+    auto_sample_rows,
+    resolve_sample_rows,
+    sample_dataset,
+)
+
+__all__ = [
+    "AUTO_SAMPLE_ROWS",
+    "ApproxResult",
+    "SampleDesign",
+    "auto_sample_rows",
+    "progressive_explore",
+    "resolve_sample_rows",
+    "sample_dataset",
+]

@@ -37,8 +37,10 @@ from repro.obs import render_profile, span
 from repro.params import (
     validate_alert_threshold,
     validate_batch_size,
+    validate_confidence,
     validate_deadline,
     validate_epsilon,
+    validate_sample,
     validate_step,
     validate_support,
     validate_window,
@@ -126,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=_arg(validate_workers), default=None,
                        help="mining worker processes: 0 auto, 1 serial, "
                             ">=2 row-sharded (identical results)")
+        p.add_argument("--sample", type=_arg(validate_sample), default=None,
+                       help="mine a seeded row sample instead of the full "
+                            "dataset: fraction in (0,1], row count, or "
+                            "'auto'; results carry credible intervals")
+        p.add_argument("--confidence", type=_arg(validate_confidence),
+                       default=0.95,
+                       help="credible-interval mass for --sample results")
 
     p_explore = sub.add_parser("explore", help="top divergent patterns")
     add_explore_args(p_explore)
@@ -248,6 +257,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        # Tear down any sharded-mining worker pools deterministically:
+        # relying on atexit alone leaves forked children alive for the
+        # rest of embedding processes (tests, notebooks) that call
+        # main() without exiting.
+        from repro.fpm.sharded import shutdown_pools
+
+        shutdown_pools()
         if getattr(args, "profile", False):
             table = render_profile()
             if table:
@@ -316,7 +332,16 @@ def _dispatch(args: argparse.Namespace) -> None:
         min_support=args.support,
         algorithm=args.algorithm,
         n_workers=args.workers,
+        sample=args.sample,
+        confidence=args.confidence,
+        sample_seed=args.seed,
     )
+    if getattr(result, "approximate", False):
+        print(
+            f"approximate: mined {result.sample_rows} of "
+            f"{result.total_rows} rows (confidence {result.confidence:g}; "
+            "omit --sample for the exact table)"
+        )
 
     if args.command == "explore":
         if args.epsilon is not None:

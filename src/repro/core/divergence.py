@@ -78,6 +78,14 @@ class DivergenceExplorer:
         # TransactionDataset per metric, so the packed bitmaps and the
         # fingerprint survive across explore() calls.
         self._datasets: dict[str, TransactionDataset] = {}
+        # Progressive-sampling state: one block permutation per seed and
+        # one sampled dataset per (metric, rows, seed), so repeated
+        # sampled requests (server auto mode, refinement rounds) reuse
+        # the gathered bitmaps and their mining-cache fingerprints.
+        self._sample_designs: dict[tuple[int, int | None], object] = {}
+        self._sampled_datasets: dict[
+            tuple[str, int, int | None], TransactionDataset
+        ] = {}
         self._truth = _class_array(table, true_column)
         self._pred = _class_array(table, pred_column) if pred_column else None
 
@@ -118,6 +126,9 @@ class DivergenceExplorer:
         deadline: Deadline | float | None = None,
         cancel_token: CancelToken | None = None,
         n_workers: int | None = None,
+        sample: float | int | str | None = None,
+        confidence: float = 0.95,
+        sample_seed: int | None = 0,
     ) -> PatternDivergenceResult:
         """Run Algorithm 1 and return the full divergence table.
 
@@ -156,11 +167,42 @@ class DivergenceExplorer:
             (``None`` keeps the default; ``1`` forces serial, ``0``
             auto, ``>= 2`` row-sharded). Results are identical either
             way — cached runs are shared across worker counts.
+        sample:
+            Mine a seeded row sample instead of the full dataset: a
+            fraction in ``(0, 1)``, an integral row count ``> 1``, or
+            ``"auto"`` (:func:`repro.approx.auto_sample_rows`). Returns
+            an :class:`~repro.approx.ApproxResult` carrying credible
+            intervals and rank-stability flags; a sample covering every
+            row falls through to the (bit-identical) exact path.
+        confidence:
+            Credible-interval mass for sampled results, in ``(0, 1)``.
+            Ignored on the exact path.
+        sample_seed:
+            Seed of the sample draw (shared RNG convention with the
+            synthetic dataset generators). Same seed + larger sample =
+            nested draw, which is what the refinement driver exploits.
         """
         workers = n_workers if n_workers is not None else self.n_workers
         with cancel_scope(deadline=deadline, token=cancel_token):
             checkpoint("explore")
             dataset = self._dataset_for(metric)
+            if sample is not None:
+                sampled = self._sampled_dataset(
+                    metric, dataset, sample, sample_seed
+                )
+                if sampled is not dataset:
+                    return self._explore_sampled(
+                        sampled,
+                        dataset.n_rows,
+                        metric,
+                        min_support,
+                        algorithm,
+                        max_length,
+                        use_cache,
+                        workers,
+                        confidence,
+                        sample_seed,
+                    )
             if use_cache:
                 frequent = self.mining_cache.mine(
                     dataset,
@@ -181,6 +223,89 @@ class DivergenceExplorer:
             return PatternDivergenceResult(
                 frequent, self.catalog, metric, min_support
             )
+
+    def _sampled_dataset(
+        self,
+        metric: str,
+        dataset: TransactionDataset,
+        sample: float | int | str,
+        seed: int | None,
+    ) -> TransactionDataset:
+        """The sampled dataset for a ``sample=`` spec (cached per round).
+
+        Returns ``dataset`` itself when the resolved sample covers every
+        row. Designs and gathered datasets are cached so refinement
+        rounds and repeated server requests pay the gather once.
+        """
+        from repro.approx.sampler import (
+            SampleDesign,
+            resolve_sample_rows,
+            sample_dataset,
+        )
+
+        rows = resolve_sample_rows(sample, dataset.n_rows)
+        design_key = (dataset.n_rows, seed)
+        design = self._sample_designs.get(design_key)
+        if design is None:
+            design = SampleDesign(dataset.n_rows, seed)
+            self._sample_designs[design_key] = design
+        actual = design.rows_for(rows)
+        if actual >= dataset.n_rows:
+            return dataset
+        cache_key = (metric, actual, seed)
+        sampled = self._sampled_datasets.get(cache_key)
+        if sampled is None:
+            from repro.obs import span
+
+            with span("approx.sample"):
+                sampled = sample_dataset(dataset, design, rows)
+            self._sampled_datasets[cache_key] = sampled
+        return sampled
+
+    def _explore_sampled(
+        self,
+        sampled: TransactionDataset,
+        total_rows: int,
+        metric: str,
+        min_support: float,
+        algorithm: str,
+        max_length: int | None,
+        use_cache: bool,
+        workers: int | None,
+        confidence: float,
+        sample_seed: int | None,
+    ) -> "ApproxResult":
+        """Mine a sampled dataset and wrap it with credible intervals."""
+        from repro.approx.engine import ApproxResult
+        from repro.obs import get_registry
+
+        if use_cache:
+            frequent = self.mining_cache.mine(
+                sampled,
+                min_support,
+                algorithm=algorithm,
+                max_length=max_length,
+                n_workers=workers,
+            )
+        else:
+            frequent = mine_frequent(
+                sampled,
+                min_support,
+                algorithm=algorithm,
+                max_length=max_length,
+                n_workers=workers,
+            )
+        checkpoint("explore.result")
+        get_registry().counter("approx.rounds").inc()
+        return ApproxResult(
+            frequent,
+            self.catalog,
+            metric,
+            min_support,
+            total_rows=total_rows,
+            confidence=confidence,
+            sample_seed=sample_seed,
+        )
 
     def _dataset_for(self, metric: str) -> TransactionDataset:
         """The transaction dataset for ``metric``, reused across calls.

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.registry_types import LoadedDataset
-from repro.datasets.sampling import bernoulli, sigmoid
+from repro.datasets.sampling import bernoulli, seeded_generator, sigmoid
 from repro.exceptions import DatasetError
 from repro.tabular.discretize import BinSpec, discretize_table
 from repro.tabular.table import Table
@@ -47,7 +47,7 @@ def generate(seed: int = 0, n_rows: int = N_ROWS) -> LoadedDataset:
     with :func:`repro.datasets.load`, which trains a classifier)."""
     if n_rows < 50:
         raise DatasetError("n_rows too small for a meaningful dataset")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
 
     age = np.clip(rng.normal(38.5, 13.5, n_rows), 17, 90)
     sex_male = rng.random(n_rows) < 0.68

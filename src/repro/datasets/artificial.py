@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.registry_types import LoadedDataset
+from repro.datasets.sampling import seeded_generator
 from repro.exceptions import DatasetError
 from repro.tabular.table import Table
 
@@ -29,7 +30,7 @@ def generate(seed: int = 0, n_rows: int = N_ROWS) -> LoadedDataset:
     """Generate the artificial dataset with planted joint divergence."""
     if n_rows < 10:
         raise DatasetError("n_rows too small for a meaningful dataset")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     matrix = rng.integers(0, 2, size=(n_rows, len(ATTRIBUTES)))
 
     a, b, c = matrix[:, 0], matrix[:, 1], matrix[:, 2]

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.registry_types import LoadedDataset
-from repro.datasets.sampling import bernoulli, categorical_sample, mask_for, sigmoid
+from repro.datasets.sampling import bernoulli, categorical_sample, mask_for, seeded_generator, sigmoid
 from repro.exceptions import DatasetError
 from repro.tabular.column import CategoricalColumn, ContinuousColumn
 from repro.tabular.discretize import BinSpec, discretize_table
@@ -64,7 +64,7 @@ def generate(seed: int = 0, priors_bins: int = 3, n_rows: int = N_ROWS) -> Loade
         raise DatasetError(f"priors_bins must be one of {sorted(PRIORS_SPECS)}")
     if n_rows < 10:
         raise DatasetError("n_rows too small for a meaningful dataset")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
 
     race = categorical_sample(
         rng, n_rows, ["African-American", "Caucasian", "Other"], [0.51, 0.34, 0.15]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.registry_types import LoadedDataset
-from repro.datasets.sampling import bernoulli, sigmoid
+from repro.datasets.sampling import bernoulli, seeded_generator, sigmoid
 from repro.exceptions import DatasetError
 from repro.tabular.discretize import discretize_table
 from repro.tabular.table import Table
@@ -27,7 +27,7 @@ def generate(seed: int = 0, n_rows: int = N_ROWS) -> LoadedDataset:
     :func:`repro.datasets.load`)."""
     if n_rows < 50:
         raise DatasetError("n_rows too small for a meaningful dataset")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
 
     checking = rng.choice(
         ["<0", "0-200", ">200", "none"], size=n_rows, p=[0.27, 0.27, 0.06, 0.40]

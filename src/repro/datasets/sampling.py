@@ -1,4 +1,10 @@
-"""Shared sampling helpers for the synthetic dataset generators."""
+"""Shared sampling helpers for the synthetic dataset generators.
+
+Every seeded draw in the project — synthetic dataset generation *and*
+the approximate-exploration row sampler — goes through
+:func:`seeded_generator`, so one ``--seed`` value reproduces both the
+data and the sample permutations drawn from it.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +14,18 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import DatasetError
+
+
+def seeded_generator(seed: int | None) -> np.random.Generator:
+    """The project-wide seeded RNG convention: one PCG64 per seed.
+
+    ``seed=None`` yields an OS-entropy generator (non-reproducible);
+    any integer yields the deterministic ``np.random.default_rng(seed)``
+    stream. Centralized so dataset generators and the progressive
+    sampler (:mod:`repro.approx`) can never drift apart on how a seed
+    maps to a bit stream.
+    """
+    return np.random.default_rng(seed)
 
 
 def categorical_sample(

@@ -149,6 +149,37 @@ def plan_shards(n_rows: int, n_shards: int) -> list[int]:
     return bounds
 
 
+def sample_rows_packed(
+    packed: np.ndarray, blocks: Sequence[tuple[int, int]]
+) -> np.ndarray:
+    """Gather row blocks of a packed bitmap into a compact packed array.
+
+    ``blocks`` is a sequence of ``(start, stop)`` bit-column ranges in
+    ascending order; the result packs their concatenation at offset 0,
+    with zero padding bits, ready to install via
+    :meth:`TransactionDataset.from_packed`. Every block except the last
+    must have a width divisible by 8 so the per-block
+    :func:`slice_packed_bits` outputs concatenate byte-wise without
+    re-shifting — :func:`plan_shards` boundaries (64-aligned) satisfy
+    this by construction, which is what keeps sampling a 10M-row
+    dataset a pure byte-gather that never materializes unpacked rows.
+    """
+    parts = []
+    for i, (start, stop) in enumerate(blocks):
+        width = stop - start
+        if width < 0:
+            raise MiningError(f"invalid sample block [{start}, {stop})")
+        if width % 8 and i != len(blocks) - 1:
+            raise MiningError(
+                f"sample block [{start}, {stop}) is not byte-aligned; only "
+                "the final block may have a partial byte"
+            )
+        parts.append(slice_packed_bits(packed, start, stop))
+    if not parts:
+        return np.zeros((packed.shape[0], 0), dtype=np.uint8)
+    return np.concatenate(parts, axis=1)
+
+
 def _grow_packed(
     packed: np.ndarray, old_bits: int, new_bits: int
 ) -> np.ndarray:
@@ -432,6 +463,22 @@ class TransactionDataset:
     def n_packed_bytes(self) -> int:
         """Bytes per packed row bitmap (``ceil(n_rows / 8)``)."""
         return (self.n_rows + 7) // 8
+
+    @property
+    def packed_items_built(self) -> bool:
+        """Whether the item bitmaps are already materialized.
+
+        The progressive sampler gathers packed blocks directly when they
+        exist and falls back to lazy small-sample packing when they do
+        not — checking here avoids forcing a full-dataset pack just to
+        take a sample.
+        """
+        return self._packed_items is not None
+
+    @property
+    def packed_channels_built(self) -> bool:
+        """Whether the channel bitmaps are already materialized."""
+        return self._packed_channels is not None
 
     @property
     def packed_item_bitmaps(self) -> np.ndarray:

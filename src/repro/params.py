@@ -17,8 +17,10 @@ from repro.exceptions import ReproError
 __all__ = [
     "validate_alert_threshold",
     "validate_batch_size",
+    "validate_confidence",
     "validate_deadline",
     "validate_epsilon",
+    "validate_sample",
     "validate_step",
     "validate_support",
     "validate_top",
@@ -148,6 +150,55 @@ def validate_workers(value: int | str) -> int:
             f"workers must be >= 0 (0 = auto), got {value!r}"
         )
     return workers
+
+
+def validate_sample(value: float | int | str | None) -> float | int | str | None:
+    """Coerce and check a ``sample`` spec for approximate exploration.
+
+    Accepted forms: ``None`` (exact), the literal ``"auto"`` (first-
+    round size picked by :func:`repro.approx.auto_sample_rows`), a
+    fraction in ``(0, 1]`` of the rows, or an integral row count
+    ``> 1``. Non-integral counts like ``1.5`` are rejected rather than
+    truncated; ``1`` reads as the fraction 1.0 (the full dataset, i.e.
+    the exact path).
+    """
+    if value is None:
+        return None
+    if isinstance(value, str) and value.strip().lower() == "auto":
+        return "auto"
+    try:
+        sample = float(value)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"sample must be 'auto', a fraction in (0, 1] or a row count, "
+            f"got {value!r}"
+        ) from None
+    if math.isnan(sample) or math.isinf(sample) or sample <= 0.0:
+        raise ReproError(
+            f"sample must be positive and finite, got {value!r}"
+        )
+    if sample <= 1.0:
+        return sample
+    if sample != int(sample):
+        raise ReproError(
+            f"sample > 1 must be an integral row count, got {value!r}"
+        )
+    return int(sample)
+
+
+def validate_confidence(value: float | str) -> float:
+    """Coerce and check a credible-interval mass: ``0 < c < 1``."""
+    try:
+        confidence = float(value)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"confidence must be a number, got {value!r}"
+        ) from None
+    if math.isnan(confidence) or not 0.0 < confidence < 1.0:
+        raise ReproError(
+            f"confidence must be in (0, 1), got {value!r}"
+        )
+    return confidence
 
 
 def validate_top(value: int | str, minimum: int = 1) -> int:

@@ -153,6 +153,28 @@ class DivergenceMonitor:
         with self._lock:
             return self._process()
 
+    def close(self) -> None:
+        """Release mining resources held on the monitor's behalf.
+
+        Shuts down the shared row-sharding worker pools when this
+        monitor mined through them (``n_workers`` unset serial runs hold
+        none). Pools are process-global and rebuilt transparently on
+        next use, so closing one monitor is safe alongside others; it
+        just stops *this* owner from keeping forked children alive
+        after teardown. Idempotent.
+        """
+        if self.n_workers is None or self.n_workers == 1:
+            return
+        from repro.fpm.sharded import shutdown_pools
+
+        shutdown_pools()
+
+    def __enter__(self) -> "DivergenceMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
 
     def _process(self) -> list[DriftAlert]:

@@ -1,0 +1,259 @@
+"""Server integration of progressive sampled exploration.
+
+Three surfaces: the explicit ``?sample=`` parameter, the automatic
+sampled answer for deadline-carrying requests on large datasets (which
+must be preferred over the coarser-support degrade path and refined to
+the exact table in the background), and the teardown guarantee that
+``server_close()`` leaves no worker processes behind. The existing
+degrade/504 behavior for small datasets is regression-tested alongside,
+since the sampling gate must not change it.
+"""
+
+import multiprocessing as mp
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.app.server import create_server
+from repro.resilience import inject_fault
+from tests.test_server_concurrency import strict_json
+
+# The artificial dataset (50k rows) clears this gate; the bundled
+# seeded datasets (compas/german, a few thousand rows) do not clear the
+# production default, which is what keeps the old degrade/504 paths
+# intact on them.
+AUTO_ROWS = 1_000
+
+
+@pytest.fixture(scope="module")
+def auto_server():
+    srv = create_server(port=0, seed=0, approx_auto_rows=AUTO_ROWS)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture(scope="module")
+def auto_url(auto_server):
+    host, port = auto_server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+@pytest.fixture(scope="module")
+def plain_server():
+    # Production gate (200k rows): no bundled dataset samples.
+    srv = create_server(port=0, seed=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture(scope="module")
+def plain_url(plain_server):
+    host, port = plain_server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def fetch(url, timeout=60):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, strict_json(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, strict_json(err.read())
+
+
+class TestExplicitSample:
+    def test_sampled_payload_fields(self, auto_url):
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&metric=fpr&support=0.1"
+            + "&sample=0.25&top=5"
+        )
+        assert status == 200
+        assert payload["approximate"] is True
+        assert 0 < payload["sample_rows"] < payload["total_rows"]
+        assert payload["confidence"] == 0.95
+        assert payload["rounds"] >= 1
+        assert isinstance(payload["stable_ranks"], list)
+        assert "degraded" not in payload
+        for row in payload["patterns"]:
+            assert row["ci_low"] <= row["divergence"] <= row["ci_high"]
+            assert isinstance(row["stable"], bool)
+
+    def test_full_sample_is_exact(self, auto_url):
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&metric=fpr&support=0.1"
+            + "&sample=1.0&top=5"
+        )
+        assert status == 200
+        assert "approximate" not in payload
+        assert "ci_low" not in payload["patterns"][0]
+
+    def test_sample_respects_epsilon_pruning(self, auto_url):
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&metric=fpr&support=0.1"
+            + "&sample=0.25&top=5&epsilon=0.05"
+        )
+        assert status == 200
+        assert payload["approximate"] is True
+        assert "ci_low" in payload["patterns"][0]
+
+    @pytest.mark.parametrize("bad", ["banana", "-1", "0", "nan", "2.5"])
+    def test_bad_sample_is_400(self, auto_url, bad):
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&support=0.1&sample=" + bad
+        )
+        assert status == 400
+        assert "sample" in payload["error"]
+
+    @pytest.mark.parametrize("bad", ["0", "1", "junk"])
+    def test_bad_confidence_is_400(self, auto_url, bad):
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&support=0.1&sample=0.5"
+            + "&confidence=" + bad
+        )
+        assert status == 400
+        assert "confidence" in payload["error"]
+
+    def test_metrics_expose_approx_counters(self, auto_url):
+        status, payload = fetch(auto_url + "/api/metrics")
+        assert status == 200
+        for name in (
+            "approx.rounds",
+            "approx.refinements",
+            "approx.served_sampled",
+        ):
+            assert name in payload["counters"], name
+        assert payload["counters"]["approx.served_sampled"] >= 1
+
+
+class TestAutoMode:
+    def test_deadline_prefers_sampled_over_degrade(self, auto_url, auto_server):
+        # Warm a coarser-support exact entry: the old resilience path
+        # would degrade to it. A large dataset must instead get a fresh
+        # sampled answer at the REQUESTED support.
+        status, _ = fetch(
+            auto_url + "/api/explore?dataset=artificial&metric=fpr&support=0.4"
+        )
+        assert status == 200
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&metric=fpr&support=0.09"
+            + "&deadline=30&top=3"
+        )
+        assert status == 200
+        assert payload["approximate"] is True
+        assert "degraded" not in payload
+        assert "served_support" not in payload
+
+        # The background refinement thread must install the exact
+        # table; once it lands, the same request is served exact.
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if auto_server.app_state.has_entry("artificial", "fpr", 0.09):
+                break
+            time.sleep(0.1)
+        assert auto_server.app_state.has_entry("artificial", "fpr", 0.09)
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&metric=fpr&support=0.09"
+            + "&deadline=30&top=3"
+        )
+        assert status == 200
+        assert "approximate" not in payload
+
+    def test_no_deadline_means_exact(self, auto_url):
+        status, payload = fetch(
+            auto_url
+            + "/api/explore?dataset=artificial&metric=fpr&support=0.35&top=3"
+        )
+        assert status == 200
+        assert "approximate" not in payload
+
+    def test_expiry_fallback_serves_sampled(self, auto_url):
+        # Slow the mining entry checkpoint so the first sampled attempt
+        # can blow the deadline; the expiry handler retries a sampled
+        # answer with a fresh budget (sampling + mining now cached), so
+        # the client still sees a 200 sampled payload either way — the
+        # contract is "bounded-error answer at the requested support",
+        # never a degrade, whether or not the deadline fired mid-mine.
+        with inject_fault("fpm.mine", delay=0.2):
+            status, payload = fetch(
+                auto_url
+                + "/api/explore?dataset=artificial&metric=fpr&support=0.08"
+                + "&deadline=0.25&top=3"
+            )
+        assert status == 200
+        assert payload["approximate"] is True
+        assert "degraded" not in payload
+
+
+class TestSmallDatasetRegression:
+    """The sampling gate must leave sub-gate datasets exactly as before."""
+
+    def test_degrade_path_intact(self, plain_url):
+        status, _ = fetch(
+            plain_url + "/api/explore?dataset=compas&metric=fpr&support=0.3"
+        )
+        assert status == 200
+        with inject_fault("fpm", delay=0.02):
+            status, payload = fetch(
+                plain_url
+                + "/api/explore?dataset=compas&metric=fpr&support=0.05"
+                + "&deadline=0.2"
+            )
+        assert status == 200
+        assert payload["degraded"] is True
+        assert payload["served_support"] == 0.3
+        assert "approximate" not in payload
+
+    def test_timeout_path_intact(self, plain_url):
+        with inject_fault("fpm", delay=0.02):
+            status, payload = fetch(
+                plain_url
+                + "/api/explore?dataset=german&support=0.05&deadline=0.2"
+            )
+        assert status == 504
+        assert payload["timeout"] is True
+        assert "approximate" not in payload
+
+    def test_small_dataset_explicit_sample_still_works(self, plain_url):
+        # Explicit sampling is opt-in at any size.
+        status, payload = fetch(
+            plain_url + "/api/explore?dataset=german&support=0.2&sample=0.5"
+        )
+        assert status == 200
+        assert payload["approximate"] is True
+
+
+class TestTeardown:
+    def test_server_close_leaves_no_workers(self):
+        srv = create_server(port=0, seed=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        host, port = srv.server_address[:2]
+        status, payload = fetch(
+            f"http://{host}:{port}"
+            + "/api/explore?dataset=compas&support=0.2&workers=2"
+        )
+        assert status == 200
+        assert payload["patterns"]
+        assert any(p.is_alive() for p in mp.active_children())
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=10)
+        deadline = time.time() + 5
+        while mp.active_children() and time.time() < deadline:
+            time.sleep(0.02)
+        assert not [p for p in mp.active_children() if p.is_alive()]
