@@ -1,0 +1,175 @@
+"""Shared-lattice compare engine vs N independent explorations.
+
+Times ``explore_compare`` over N=4 models against (a) one independent
+``DivergenceExplorer.explore`` and (b) four of them, on a synthetic
+survivor-heavy regime (12 uniform attributes of cardinality 3,
+s=0.02, max_length=4) where candidate generation and support counting
+dominate. The engine mines the itemset lattice once and slices one
+divergence table per model out of the shared counts, so its cost should
+sit near a single exploration, not near four; the acceptance bound
+asserted in full mode is ``compare <= 1.5x single``.
+
+Each timed run starts from a fresh explorer/engine call so both sides
+pay their one-time bitmap packing. Bit-identity of every per-model
+table against its independent exploration is asserted on every run.
+
+Writes ``BENCH_compare_engine.json`` at the repo root. Set
+``REPRO_BENCH_QUICK=1`` for a smoke-sized run without the performance
+assertion (used by CI).
+"""
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _envelope import write_bench_json
+from repro.core.compare import explore_compare
+from repro.core.divergence import DivergenceExplorer
+from repro.experiments.tables import format_table
+from repro.fpm.sharded import shutdown_pools
+from repro.tabular.column import CategoricalColumn
+from repro.tabular.table import Table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+ROWS = 20_000 if QUICK else 150_000
+N_ATTRS = 8 if QUICK else 12
+CARD = 3
+SUPPORT = 0.02
+MAX_LENGTH = 4
+N_MODELS = 4
+METRIC = "fpr"
+REPEATS = 1 if QUICK else 3
+JSON_PATH = Path(__file__).parent.parent / "BENCH_compare_engine.json"
+
+
+def build_table():
+    """Synthetic table with the class and N model prediction columns."""
+    rng = np.random.default_rng(0)
+    columns = [
+        CategoricalColumn(
+            f"a{j}", rng.integers(0, CARD, ROWS), list(range(CARD))
+        )
+        for j in range(N_ATTRS)
+    ]
+    truth = rng.integers(0, 2, ROWS).astype(bool)
+    columns.append(
+        CategoricalColumn("class", truth.astype(int), [0, 1])
+    )
+    model_names = []
+    for i in range(N_MODELS):
+        # distinct error profiles so the per-model tables differ
+        err = rng.random(ROWS) < (0.08 + 0.04 * i)
+        pred = np.where(err, ~truth, truth)
+        name = f"m{i}"
+        model_names.append(name)
+        columns.append(CategoricalColumn(name, pred.astype(int), [0, 1]))
+    return Table(columns), model_names
+
+
+def best_of(repeats, fn):
+    elapsed = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = min(elapsed, time.perf_counter() - started)
+    return elapsed, result
+
+
+def explore_one(table, name, attributes):
+    # a fresh explorer per run: packing is part of the measured cost,
+    # exactly as it is for the (fresh) engine call
+    return DivergenceExplorer(
+        table, "class", name, attributes=attributes
+    ).explore(METRIC, min_support=SUPPORT, max_length=MAX_LENGTH)
+
+
+def bit_identical(shared, independent) -> bool:
+    return (
+        shared._keys == independent._keys
+        and np.array_equal(shared._count_matrix, independent._count_matrix)
+        and np.array_equal(
+            shared.divergence_vector(),
+            independent.divergence_vector(),
+            equal_nan=True,
+        )
+    )
+
+
+def test_compare_engine(report):
+    table, model_names = build_table()
+    attributes = [f"a{j}" for j in range(N_ATTRS)]
+
+    # Warm the process (imports, thread pools, small mine).
+    explore_compare(
+        table, "class", model_names, metric=METRIC, min_support=0.5,
+        max_length=1,
+    )
+
+    singles = {}
+    t_independent = 0.0
+    for name in model_names:
+        seconds, result = best_of(
+            REPEATS, lambda n=name: explore_one(table, n, attributes)
+        )
+        singles[name] = (seconds, result)
+        t_independent += seconds
+    t_single = singles[model_names[0]][0]
+
+    t_compare, comparison = best_of(
+        REPEATS,
+        lambda: explore_compare(
+            table, "class", model_names, metric=METRIC,
+            min_support=SUPPORT, max_length=MAX_LENGTH,
+        ),
+    )
+
+    identical = all(
+        bit_identical(comparison[name], singles[name][1])
+        for name in model_names
+    )
+    assert identical
+
+    ratio = t_compare / t_single
+    rows = [
+        {"config": "explore x1 (baseline)", "seconds": round(t_single, 3),
+         "vs single": 1.0},
+        {"config": f"explore x{N_MODELS} (independent)",
+         "seconds": round(t_independent, 3),
+         "vs single": round(t_independent / t_single, 2)},
+        {"config": f"explore_compare (N={N_MODELS})",
+         "seconds": round(t_compare, 3), "vs single": round(ratio, 2)},
+    ]
+    report("compare_engine", format_table(rows))
+
+    payload = {
+        "rows": ROWS,
+        "attributes": N_ATTRS,
+        "cardinality": CARD,
+        "support": SUPPORT,
+        "max_length": MAX_LENGTH,
+        "metric": METRIC,
+        "n_models": N_MODELS,
+        "n_patterns": comparison.n_patterns,
+        "seconds_single": t_single,
+        "seconds_independent": t_independent,
+        "seconds_compare": t_compare,
+        "compare_vs_single": ratio,
+        "bit_identical_per_model": identical,
+        "timings": rows,
+    }
+    write_bench_json(
+        JSON_PATH,
+        "compare_engine",
+        payload,
+        quick=QUICK,
+        speedup=t_independent / t_compare,
+    )
+    shutdown_pools()
+
+    if not QUICK:
+        # the acceptance bound: N=4 models for at most 1.5x one model
+        assert ratio <= 1.5, rows

@@ -19,7 +19,17 @@ Quickstart::
 
 from repro import datasets, fairness
 from repro.approx import ApproxResult, progressive_explore
-from repro.core.compare import PatternShift, compare_results, regressions
+from repro.core.compare import (
+    CompareResult,
+    PatternShift,
+    compare_results,
+    compare_results_reference,
+    delta_columns,
+    explore_compare,
+    regressions,
+    regressions_reference,
+    resolve_models,
+)
 from repro.core.continuous import ContinuousDivergenceExplorer
 from repro.core.multi import explore_multi
 from repro.core.serialize import lattice_to_dot, result_from_json, result_to_json
@@ -56,6 +66,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ApproxResult",
     "BinSpec",
+    "CompareResult",
     "ContinuousDivergenceExplorer",
     "CorrectiveItem",
     "DivergenceExplorer",
@@ -76,8 +87,11 @@ __all__ = [
     "Table",
     "__version__",
     "compare_results",
+    "compare_results_reference",
     "datasets",
+    "delta_columns",
     "explain_top_k",
+    "explore_compare",
     "explore_multi",
     "fairness",
     "discretize_table",
@@ -90,6 +104,8 @@ __all__ = [
     "progressive_explore",
     "prune_redundant",
     "regressions",
+    "regressions_reference",
+    "resolve_models",
     "result_from_json",
     "result_to_json",
     "read_csv",

@@ -9,6 +9,11 @@ Endpoints (all GET, JSON responses):
 - ``/api/global``     params: ``dataset, metric, support, top``
 - ``/api/corrective`` params: ``dataset, metric, support, top``
 - ``/api/lattice``    params: ``dataset, metric, support, pattern, threshold?``
+- ``/api/compare``    params: ``dataset, metric, support, models,
+  baseline?, top?, min_t?`` — shared-lattice multi-model comparison
+  (see ``docs/compare.md``): ``models`` is a comma-separated list of
+  prediction columns and/or ``classifier:<name>`` specs, mined once
+  and compared pairwise against the baseline
 - ``/api/metrics``    process metrics: cache counters, span timings,
   per-endpoint request counts/status/latency percentiles
 - ``/``               minimal HTML page that calls the API
@@ -93,6 +98,8 @@ from repro.params import (
     validate_confidence,
     validate_deadline,
     validate_epsilon,
+    validate_min_t,
+    validate_models,
     validate_sample,
     validate_step,
     validate_support,
@@ -215,6 +222,12 @@ class AppState:
         # mismatched release fails loudly instead of widening the gate.
         self.admission = threading.BoundedSemaphore(self.max_concurrent)
         self._cache: OrderedDict[tuple, _CachedExploration] = OrderedDict()
+        # Model comparisons live in their own LRU: the exploration cache
+        # is keyed by 3-tuples that coarser_support() introspects, and a
+        # CompareResult is not a substitutable answer for /api/explore.
+        self._compare_cache: OrderedDict[tuple, "CompareResult"] = (
+            OrderedDict()
+        )
         self._explorers: dict[str, DivergenceExplorer] = {}
         self._lock = threading.Lock()
         # Streaming monitor session: one DivergenceMonitor shared by
@@ -287,6 +300,11 @@ class AppState:
             self._cache = OrderedDict(
                 (k, v) for k, v in self._cache.items() if k[0] != handle
             )
+            self._compare_cache = OrderedDict(
+                (k, v)
+                for k, v in self._compare_cache.items()
+                if k[0] != handle
+            )
         return handle
 
     def explorer(self, dataset: str) -> DivergenceExplorer:
@@ -357,6 +375,72 @@ class AppState:
     ) -> PatternDivergenceResult:
         """Explore (and cache) one configuration."""
         return self._entry(dataset, metric, support, workers).result
+
+    def compare_result(
+        self,
+        dataset: str,
+        metric: str,
+        support: float,
+        specs: tuple[str, ...],
+        workers: int | None = None,
+    ) -> "CompareResult":
+        """LRU-cached shared-lattice comparison of one spec list.
+
+        ``workers`` stays out of the key for the same reason as in
+        :meth:`_entry`: sharded and serial mining are bit-identical.
+        ``classifier:`` specs train deterministically from the server
+        seed, so a cached comparison answers repeats exactly.
+        """
+        from repro.core.compare import explore_compare, resolve_models
+
+        key = (dataset, metric, support, specs)
+        registry = get_registry()
+        with self._lock:
+            comparison = self._compare_cache.get(key)
+            if comparison is not None:
+                self._compare_cache.move_to_end(key)
+                registry.counter("compare.cache_hits").inc()
+                return comparison
+        registry.counter("compare.cache_misses").inc()
+        explorer = self.explorer(dataset)
+        # Columns consumed as model predictions must not double as
+        # analysis attributes (an upload's spare prediction columns are
+        # ordinary categoricals to its explorer).
+        attributes = [a for a in explorer.attributes if a not in set(specs)]
+        resolved = resolve_models(
+            explorer.table,
+            explorer.true_column,
+            list(specs),
+            attributes=attributes,
+            seed=self.seed,
+        )
+        comparison = explore_compare(
+            explorer.table,
+            explorer.true_column,
+            resolved,
+            metric=metric,
+            min_support=support,
+            attributes=attributes,
+            n_workers=workers if workers is not None else self.default_workers,
+            mining_cache=explorer.mining_cache,
+        )
+        # Build the shared lattice index eagerly, outside the lock, so
+        # cache hits serve fully materialized comparisons.
+        comparison.lattice_index()
+        with self._lock:
+            raced = self._compare_cache.get(key)
+            if raced is not None:
+                comparison = raced
+            else:
+                self._compare_cache[key] = comparison
+            self._compare_cache.move_to_end(key)
+            while len(self._compare_cache) > self.max_results:
+                self._compare_cache.popitem(last=False)
+                registry.counter("compare.cache_evictions").inc()
+            registry.gauge("compare.cache_entries").set(
+                len(self._compare_cache)
+            )
+            return comparison
 
     def coarser_support(
         self, dataset: str, metric: str, support: float
@@ -689,6 +773,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/",
             "/api/datasets",
             "/api/explore",
+            "/api/compare",
             "/api/shapley",
             "/api/explain",
             "/api/global",
@@ -780,6 +865,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"datasets": dataset_characteristics()})
         elif path == "/api/explore":
             self._send_json(self._explore(params))
+        elif path == "/api/compare":
+            self._send_json(self._compare(params))
         elif path == "/api/shapley":
             self._send_json(self._shapley(params))
         elif path == "/api/explain":
@@ -1079,6 +1166,65 @@ class _Handler(BaseHTTPRequestHandler):
             "global_rate": _json_safe(result.global_rate),
             "n_patterns": len(result) - 1,
             "patterns": rows,
+        }
+
+    def _compare(self, params: dict[str, str]) -> dict:
+        dataset, metric, support = self._config(params)
+        raw_models = params.get("models")
+        if raw_models is None:
+            raise ReproError(
+                "models parameter is required, e.g. "
+                "models=pred,classifier:tree"
+            )
+        specs = validate_models(raw_models)
+        top = validate_top(params.get("top", "10"))
+        min_t = validate_min_t(params.get("min_t", "0"))
+        baseline = params.get("baseline") or specs[0]
+        if baseline not in specs:
+            raise ReproError(
+                f"baseline {baseline!r} is not one of the compared "
+                f"models {specs}"
+            )
+        comparison = self._state.compare_result(
+            dataset, metric, support, tuple(specs),
+            workers=self._workers(params),
+        )
+        models = []
+        for name in specs:
+            if name == baseline:
+                continue
+            models.append(
+                {
+                    "model": name,
+                    "shifts": [
+                        s.as_row()
+                        for s in comparison.shifts(
+                            name, baseline=baseline, k=top, min_t=min_t
+                        )
+                    ],
+                    "regressions": [
+                        s.as_row()
+                        for s in comparison.regressions(
+                            name,
+                            baseline=baseline,
+                            k=top,
+                            min_t=max(min_t, 2.0),
+                        )
+                    ],
+                }
+            )
+        return {
+            "dataset": dataset,
+            "metric": metric,
+            "support": support,
+            "models": specs,
+            "baseline": baseline,
+            "n_patterns": comparison.n_patterns,
+            "global_rates": {
+                name: _json_safe(rate)
+                for name, rate in comparison.global_rates.items()
+            },
+            "comparisons": models,
         }
 
     def _explore_sampled(
@@ -1424,6 +1570,10 @@ def create_server(
         "approx.rounds",
         "approx.refinements",
         "approx.served_sampled",
+        "compare.explores",
+        "compare.models_compared",
+        "compare.cache_hits",
+        "compare.cache_misses",
     ):
         registry.counter(name)
     return server

@@ -40,6 +40,8 @@ from repro.params import (
     validate_confidence,
     validate_deadline,
     validate_epsilon,
+    validate_min_t,
+    validate_models,
     validate_sample,
     validate_step,
     validate_support,
@@ -174,6 +176,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--support", type=float, default=0.05)
     p_report.add_argument("--metrics", default="fpr,fnr,error,accuracy")
     p_report.add_argument("--output", help="write report to this file")
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="compare N models' divergence tables over one shared lattice",
+    )
+    add_data_args(p_cmp)
+    p_cmp.add_argument(
+        "--models", required=True, type=_arg(validate_models),
+        help="comma-separated model specs: prediction columns and/or "
+             "classifier:<name> (forest, tree, logistic, naive-bayes)",
+    )
+    p_cmp.add_argument("--baseline", default=None,
+                       help="baseline model spec (default: first of --models)")
+    p_cmp.add_argument("--metric", default="fpr")
+    p_cmp.add_argument("--support", type=_arg(validate_support), default=0.1)
+    p_cmp.add_argument("--algorithm", default="bitset",
+                       choices=["bitset", "fpgrowth", "apriori", "eclat",
+                                "bruteforce"])
+    p_cmp.add_argument("--workers", type=_arg(validate_workers), default=None,
+                       help="mining worker processes: 0 auto, 1 serial, "
+                            ">=2 row-sharded (identical results)")
+    p_cmp.add_argument("--top", type=int, default=10,
+                       help="shift/regression rows per challenger model")
+    p_cmp.add_argument("--min-t", type=_arg(validate_min_t), default=0.0,
+                       help="minimum |Welch t| for a shift to be reported")
 
     p_study = sub.add_parser("study", help="simulated user study")
     add_profile_arg(p_study)
@@ -311,6 +338,10 @@ def _dispatch(args: argparse.Namespace) -> None:
         _run_monitor(args)
         return
 
+    if args.command == "compare":
+        _run_compare(args)
+        return
+
     if args.command == "report":
         explorer = _load_explorer(args)
         text = divergence_report(
@@ -396,6 +427,94 @@ def _dispatch(args: argparse.Namespace) -> None:
             print(lattice_to_dot(lattice, threshold=args.threshold))
         else:
             print(lattice.render(threshold=args.threshold))
+
+
+def _run_compare(args: argparse.Namespace) -> None:
+    """Shared-lattice model comparison: shifts and regressions per model."""
+    from repro.core.compare import explore_compare, resolve_models
+
+    if args.dataset and args.csv:
+        raise ReproError("pass either --dataset or --csv, not both")
+    attributes = None
+    if args.dataset:
+        data = load(args.dataset, seed=args.seed)
+        table, true_column = data.table, data.true_column
+        attributes = [a for a in data.attributes if a not in set(args.models)]
+    elif args.csv:
+        table = discretize_table(read_csv(args.csv), default_bins=args.bins)
+        true_column = args.true_column
+    else:
+        raise ReproError("one of --dataset or --csv is required")
+
+    baseline = args.baseline or args.models[0]
+    if baseline not in args.models:
+        raise ReproError(
+            f"baseline {baseline!r} must be one of --models {args.models}"
+        )
+    resolved = resolve_models(
+        table, true_column, args.models, attributes=attributes, seed=args.seed
+    )
+    comparison = explore_compare(
+        table,
+        true_column,
+        resolved,
+        metric=args.metric,
+        min_support=args.support,
+        attributes=attributes,
+        algorithm=args.algorithm,
+        n_workers=args.workers,
+    )
+    print(
+        f"compared {len(args.models)} models over "
+        f"{comparison.n_patterns} shared patterns "
+        f"(metric={args.metric}, s={args.support})"
+    )
+    for name, rate in comparison.global_rates.items():
+        marker = "  (baseline)" if name == baseline else ""
+        print(f"  overall {args.metric} {name} = {rate:.4f}{marker}")
+    for name in comparison.model_names:
+        if name == baseline:
+            continue
+        shifts = comparison.shifts(
+            name, baseline=baseline, k=args.top, min_t=args.min_t
+        )
+        rows = [
+            {
+                "itemset": str(s.itemset),
+                "Δ_a": _fmt(s.divergence_a),
+                "Δ_b": _fmt(s.divergence_b),
+                "shift": _fmt(s.shift),
+                "t": _fmt(s.t_statistic, 1),
+                "δ": _fmt(s.delta_divergence),
+            }
+            for s in shifts
+        ]
+        if rows:
+            print(format_table(
+                rows, title=f"top shifts: {baseline} -> {name}"
+            ))
+        else:
+            print(f"no shifts pass |t| >= {args.min_t} for {name}")
+        worse = comparison.regressions(
+            name, baseline=baseline, k=args.top,
+            min_t=max(args.min_t, 2.0),
+        )
+        if worse:
+            rows = [
+                {
+                    "itemset": str(s.itemset),
+                    "Δ_a": _fmt(s.divergence_a),
+                    "Δ_b": _fmt(s.divergence_b),
+                    "worse by": _fmt(abs(s.divergence_b) - abs(s.divergence_a)),
+                    "t": _fmt(s.t_statistic, 1),
+                }
+                for s in worse
+            ]
+            print(format_table(
+                rows, title=f"regressions: {baseline} -> {name}"
+            ))
+        else:
+            print(f"no significant regressions: {baseline} -> {name}")
 
 
 def _run_monitor(args: argparse.Namespace) -> None:

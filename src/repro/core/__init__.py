@@ -7,6 +7,18 @@ item divergence (Sec. 4.3), the mining algorithm (Sec. 5), redundancy
 pruning (Sec. 3.5) and lattice exploration (Sec. 6.4).
 """
 
+from repro.core.compare import (
+    CompareResult,
+    PatternShift,
+    compare_results,
+    compare_results_reference,
+    delta_columns,
+    delta_divergence_score,
+    explore_compare,
+    regressions,
+    regressions_reference,
+    resolve_models,
+)
 from repro.core.continuous import (
     ContinuousDivergenceExplorer,
     ContinuousDivergenceResult,
@@ -36,6 +48,7 @@ from repro.core.significance import (
 )
 
 __all__ = [
+    "CompareResult",
     "ContinuousDivergenceExplorer",
     "ContinuousDivergenceResult",
     "ContinuousPatternRecord",
@@ -49,8 +62,14 @@ __all__ = [
     "OutcomeFunction",
     "PatternDivergenceResult",
     "PatternRecord",
+    "PatternShift",
     "beta_moments",
+    "compare_results",
+    "compare_results_reference",
+    "delta_columns",
+    "delta_divergence_score",
     "explain_top_k",
+    "explore_compare",
     "explore_multi",
     "find_corrective_items",
     "global_divergence_of_itemset",
@@ -60,6 +79,9 @@ __all__ = [
     "outcome_metric",
     "prune_redundant",
     "redundancy_margins",
+    "regressions",
+    "regressions_reference",
+    "resolve_models",
     "result_from_json",
     "result_to_json",
     "shapley_batch",

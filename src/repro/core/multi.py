@@ -68,21 +68,30 @@ def explore_multi(
         dataset, min_support, algorithm=algorithm, max_length=max_length
     )
 
+    keys, matrix = frequent.count_table()
     results: dict[str, PatternDivergenceResult] = {}
     for index, metric in enumerate(metrics):
-        per_metric = _slice_channels(frequent, index)
+        per_metric = _slice_channels(frequent, index, keys, matrix)
         results[metric] = PatternDivergenceResult(
             per_metric, explorer.catalog, metric, min_support
         )
     return results
 
 
-def _slice_channels(frequent: FrequentItemsets, metric_index: int) -> FrequentItemsets:
-    """Project a stacked count table onto one metric's (n, T, F) triple."""
+def _slice_channels(
+    frequent: FrequentItemsets,
+    metric_index: int,
+    keys: list | None = None,
+    matrix: np.ndarray | None = None,
+) -> FrequentItemsets:
+    """Project a stacked count table onto one metric's (n, T, F) triple.
+
+    The projection is one column gather over the shared count matrix;
+    the per-key triples are row views into it, not per-key allocations.
+    """
+    if keys is None or matrix is None:
+        keys, matrix = frequent.count_table()
     t_col = 1 + 2 * metric_index
-    f_col = t_col + 1
-    counts = {
-        key: np.array([vec[0], vec[t_col], vec[f_col]], dtype=np.int64)
-        for key, vec in frequent.items()
-    }
+    triples = np.ascontiguousarray(matrix[:, [0, t_col, t_col + 1]])
+    counts = dict(zip(keys, triples))
     return FrequentItemsets(counts, frequent.n_rows, frequent.min_support)

@@ -96,6 +96,45 @@ def divergence_t_statistic(
     )
 
 
+def welch_t_statistics_pair(
+    k_pos_a: np.ndarray,
+    k_neg_a: np.ndarray,
+    k_pos_b: np.ndarray,
+    k_neg_b: np.ndarray,
+) -> np.ndarray:
+    """Vectorized signed Welch t between two aligned count arrays.
+
+    Entry ``i`` compares the Beta posteriors of the two count pairs:
+    ``welch_t_statistic_signed(*beta_moments(a_i), *beta_moments(b_i))``
+    — positive where side A's posterior rate exceeds side B's. Used by
+    the model-comparison engine to score a whole aligned delta table in
+    one shot. Elementwise equal to the scalar composition (identical to
+    the last bit while subset totals stay below ~2·10^5; beyond that
+    the cubic variance denominator can round differently in float64).
+    """
+    mus, variances = [], []
+    for k_pos, k_neg in ((k_pos_a, k_neg_a), (k_pos_b, k_neg_b)):
+        k_pos = np.asarray(k_pos, dtype=np.float64)
+        k_neg = np.asarray(k_neg, dtype=np.float64)
+        total = k_pos + k_neg
+        mus.append((k_pos + 1.0) / (total + 2.0))
+        variances.append(
+            (k_pos + 1.0) * (k_neg + 1.0)
+            / ((total + 2.0) ** 2 * (total + 3.0))
+        )
+    diff = mus[0] - mus[1]
+    denom = np.sqrt(variances[0] + variances[1])
+    # Beta variances are strictly positive, so denom > 0 always; the
+    # guard mirrors welch_t_statistic_signed exactly anyway.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(
+            denom == 0.0,
+            np.where(diff > 0.0, np.inf, np.where(diff < 0.0, -np.inf, 0.0)),
+            diff / denom,
+        )
+    return out
+
+
 def divergence_t_statistics(
     k_pos: np.ndarray,
     k_neg: np.ndarray,

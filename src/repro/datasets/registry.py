@@ -85,6 +85,21 @@ def _load_cached(key: tuple) -> LoadedDataset:
     return dataset
 
 
+def classifier_factory(name: str):
+    """The seed -> model factory of a named classifier.
+
+    Shared lookup behind ``load(..., classifier=...)`` and the model-
+    comparison ``classifier:<name>`` specs, so both surfaces accept
+    exactly the same names and fail with the same message.
+    """
+    try:
+        return _CLASSIFIERS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown classifier {name!r}; available: {sorted(_CLASSIFIERS)}"
+        ) from None
+
+
 def attach_predictions(
     dataset: LoadedDataset, classifier: str = "forest", seed: int = 0
 ) -> None:
@@ -93,12 +108,7 @@ def attach_predictions(
     Mutates ``dataset`` in place: adds a ``"pred"`` column to its table
     and sets ``pred_column``.
     """
-    try:
-        factory = _CLASSIFIERS[classifier]
-    except KeyError:
-        raise DatasetError(
-            f"unknown classifier {classifier!r}; available: {sorted(_CLASSIFIERS)}"
-        ) from None
+    factory = classifier_factory(classifier)
     x = dataset.encoded_features()
     y = dataset.truth_array()
     train_idx, _ = train_test_split(

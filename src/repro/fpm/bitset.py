@@ -97,41 +97,43 @@ class BitsetMiner(Miner):
 
     @staticmethod
     def _prepare_one_hot(dataset: TransactionDataset, min_count: int):
-        """Build root coverage blocks and the one-hot expander.
+        """Build root coverage bitmaps and the one-hot expander.
 
-        Coverages are ``(1 + k, n_words)`` uint64 blocks whose popcount
-        row is the ``[n, ch...]`` count vector itself.
+        Coverage is a bare ``(n_words,)`` bitmap; channel tallies come
+        from ANDing each survivor's coverage against the *global*
+        channel bitmaps (idempotence: ``cov & ch_j`` equals the AND of
+        the prefix's and sibling's channel rows). Carrying coverage
+        alone keeps per-node memory traffic independent of the channel
+        count — with N stacked models the channel matrix is wide, and
+        the survivor-only channel pass is what keeps N-model mining
+        close to single-model cost.
         """
         item_bitmaps = _as_words(dataset.packed_item_bitmaps)
-        full = _as_words(np.packbits(np.ones(dataset.n_rows, dtype=bool)))
-        base = np.concatenate(
-            [full[None, :], _as_words(dataset.packed_channel_bitmaps)], axis=0
-        )
-        # (n_items, 1 + k, n_words): item AND [ones, ch_1, ..., ch_k].
-        blocks = item_bitmaps[:, None, :] & base[None, :, :]
-        counts = popcount_rows(blocks)
-        frequent = counts[:, 0] >= min_count
-        roots = blocks[frequent]
-        root_counts = counts[frequent]
+        channel_words = _as_words(dataset.packed_channel_bitmaps)
 
-        def expand(prefix_block, sib_items, sib_blocks):
+        def channel_counts(coverage: np.ndarray, supports: np.ndarray):
+            rows = coverage[:, None, :] & channel_words[None, :, :]
+            return np.concatenate(
+                [supports[:, None], popcount_rows(rows)], axis=1
+            )
+
+        supports = popcount_rows(item_bitmaps)
+        frequent = supports >= min_count
+        roots = item_bitmaps[frequent]
+        root_counts = channel_counts(roots, supports[frequent])
+
+        def expand(prefix_cov, sib_items, sib_covs):
             if len(sib_items) == 0:
-                return sib_items, sib_blocks, sib_blocks
-            # Phase 1: support filter on the coverage row of every
-            # candidate; phase 2: channel rows for survivors only.
-            coverage = prefix_block[0][None, :] & sib_blocks[:, 0, :]
+                return sib_items, sib_covs, sib_covs
+            # Phase 1: support filter on every candidate's coverage;
+            # phase 2: channel tallies for survivors only.
+            coverage = prefix_cov[None, :] & sib_covs
             supports = popcount_rows(coverage)
             keep = supports >= min_count
             if not keep.any():
-                return sib_items[:0], sib_blocks[:0], sib_blocks[:0]
-            channel_rows = prefix_block[None, 1:, :] & sib_blocks[keep, 1:, :]
-            extended = np.concatenate(
-                [coverage[keep][:, None, :], channel_rows], axis=1
-            )
-            counts = np.concatenate(
-                [supports[keep][:, None], popcount_rows(channel_rows)], axis=1
-            )
-            return sib_items[keep], extended, counts
+                return sib_items[:0], sib_covs[:0], sib_covs[:0]
+            kept = coverage[keep]
+            return sib_items[keep], kept, channel_counts(kept, supports[keep])
 
         return expand, roots, root_counts
 

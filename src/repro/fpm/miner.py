@@ -87,6 +87,23 @@ class FrequentItemsets:
         """Iterate over ``(itemset, counts)`` pairs."""
         return iter(self._counts.items())
 
+    def count_table(self) -> tuple[list[ItemsetKey], np.ndarray]:
+        """All counts as ``(keys, matrix)`` in insertion order.
+
+        ``matrix`` is the ``(N, 1 + k)`` int64 stack of every itemset's
+        ``[n, ch...]`` vector, row-aligned with ``keys``. This is the
+        columnar entry point for the multi-metric and model-comparison
+        engines, which slice per-model/per-metric triples out of one
+        shared table instead of walking the dict per consumer.
+        """
+        keys = list(self._counts)
+        if not keys:
+            return keys, np.empty((0, 0), dtype=np.int64)
+        matrix = np.vstack(
+            [np.asarray(vec, dtype=np.int64) for vec in self._counts.values()]
+        )
+        return keys, matrix
+
     @property
     def totals(self) -> np.ndarray:
         """Dataset-wide ``[n, ch...]`` vector (the empty itemset)."""

@@ -20,6 +20,8 @@ __all__ = [
     "validate_confidence",
     "validate_deadline",
     "validate_epsilon",
+    "validate_min_t",
+    "validate_models",
     "validate_sample",
     "validate_step",
     "validate_support",
@@ -199,6 +201,48 @@ def validate_confidence(value: float | str) -> float:
             f"confidence must be in (0, 1), got {value!r}"
         )
     return confidence
+
+
+def validate_models(value: str | list[str]) -> list[str]:
+    """Coerce and check a model-comparison spec list.
+
+    Accepts a comma-separated string (the CLI/HTTP form) or a list of
+    specs. Each spec is a prediction column name or ``classifier:<name>``
+    (resolved later by :func:`repro.core.compare.resolve_models`); here
+    only the shape is checked: at least two distinct non-empty specs.
+    """
+    if isinstance(value, str):
+        specs = [part.strip() for part in value.split(",")]
+    else:
+        try:
+            specs = [str(part).strip() for part in value]
+        except TypeError:
+            raise ReproError(
+                f"models must be a comma-separated list, got {value!r}"
+            ) from None
+    specs = [s for s in specs if s]
+    if len(specs) < 2:
+        raise ReproError(
+            f"models needs at least two comma-separated specs "
+            f"(prediction columns or classifier:<name>), got {value!r}"
+        )
+    if len(set(specs)) != len(specs):
+        raise ReproError(f"models must be distinct, got {value!r}")
+    return specs
+
+
+def validate_min_t(value: float | str) -> float:
+    """Coerce and check a |t| significance gate: finite, ``>= 0``.
+
+    Zero disables the gate (every measurable shift passes).
+    """
+    try:
+        min_t = float(value)
+    except (TypeError, ValueError):
+        raise ReproError(f"min-t must be a number, got {value!r}") from None
+    if math.isnan(min_t) or math.isinf(min_t) or min_t < 0.0:
+        raise ReproError(f"min-t must be finite and >= 0, got {value!r}")
+    return min_t
 
 
 def validate_top(value: int | str, minimum: int = 1) -> int:

@@ -203,3 +203,106 @@ class TestSignificantCommand:
         strict_n = int(strict.split()[0])
         loose_n = int(loose.split()[0])
         assert strict_n <= loose_n
+
+
+@pytest.fixture
+def duel_csv(tmp_path):
+    """Two prediction columns over the same loans-style data."""
+    rng = np.random.default_rng(7)
+    n = 900
+    region = rng.choice(["north", "south"], size=n)
+    employed = rng.choice(["yes", "no"], size=n, p=[0.8, 0.2])
+    truth = (employed == "yes") & (rng.random(n) < 0.8)
+    pred_a = truth ^ (rng.random(n) < 0.1)
+    pred_b = truth ^ (rng.random(n) < np.where(region == "north", 0.35, 0.1))
+    table = Table.from_dict(
+        {
+            "region": list(region),
+            "employed": list(employed),
+            "class": truth.astype(int),
+            "pred_a": pred_a.astype(int),
+            "pred_b": pred_b.astype(int),
+        }
+    )
+    path = tmp_path / "duel.csv"
+    write_csv(table, path)
+    return str(path)
+
+
+class TestCompareCommand:
+    def test_compare_csv(self, duel_csv, capsys):
+        code = main(
+            ["compare", "--csv", duel_csv, "--models", "pred_a,pred_b",
+             "--metric", "error", "--support", "0.1", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compared 2 models over" in out
+        assert "overall error pred_a" in out and "(baseline)" in out
+        assert "top shifts: pred_a -> pred_b" in out
+        # the planted north-only failure mode regresses under pred_b
+        assert "regressions: pred_a -> pred_b" in out
+        assert "region=north" in out
+
+    def test_compare_baseline_flag(self, duel_csv, capsys):
+        code = main(
+            ["compare", "--csv", duel_csv, "--models", "pred_a,pred_b",
+             "--baseline", "pred_b", "--metric", "error",
+             "--support", "0.1", "--top", "3"]
+        )
+        assert code == 0
+        assert "pred_b -> pred_a" in capsys.readouterr().out
+
+    def test_compare_bundled_with_classifier(self, capsys):
+        code = main(
+            ["compare", "--dataset", "compas",
+             "--models", "pred,classifier:tree", "--support", "0.2",
+             "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compared 2 models over" in out
+        assert "overall fpr classifier:tree" in out
+
+    def test_compare_min_t(self, duel_csv, capsys):
+        code = main(
+            ["compare", "--csv", duel_csv, "--models", "pred_a,pred_b",
+             "--metric", "error", "--support", "0.1", "--min-t", "1e9"]
+        )
+        assert code == 0
+        assert "no shifts pass |t| >= 1000000000.0" in capsys.readouterr().out
+
+    def test_unknown_baseline_is_error(self, duel_csv, capsys):
+        code = main(
+            ["compare", "--csv", duel_csv, "--models", "pred_a,pred_b",
+             "--baseline", "ghost", "--metric", "error"]
+        )
+        assert code == 1
+        assert "baseline" in capsys.readouterr().err
+
+    def test_unknown_model_column_is_error(self, duel_csv, capsys):
+        code = main(
+            ["compare", "--csv", duel_csv, "--models", "pred_a,ghost",
+             "--metric", "error"]
+        )
+        assert code == 1
+        assert "unknown model column" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("models", ["pred_a", "pred_a,pred_a", ","])
+    def test_bad_models_usage_error(self, duel_csv, models):
+        with pytest.raises(SystemExit) as err:
+            main(["compare", "--csv", duel_csv, "--models", models])
+        assert err.value.code == 2
+
+    @pytest.mark.parametrize("min_t", ["-1", "nan", "inf"])
+    def test_bad_min_t_usage_error(self, duel_csv, min_t):
+        with pytest.raises(SystemExit) as err:
+            main(["compare", "--csv", duel_csv,
+                  "--models", "pred_a,pred_b", "--min-t", min_t])
+        assert err.value.code == 2
+
+    def test_bad_support_usage_error(self, duel_csv):
+        with pytest.raises(SystemExit) as err:
+            main(["compare", "--csv", duel_csv,
+                  "--models", "pred_a,pred_b", "--support", "0"])
+        assert err.value.code == 2

@@ -1,0 +1,161 @@
+"""Tests for the ``/api/compare`` endpoint (in-process HTTP)."""
+
+import json
+import threading
+import urllib.request
+from urllib.error import HTTPError
+
+import pytest
+
+from repro.app.server import create_server
+
+SHIFT_KEYS = {
+    "itemset", "divergence_a", "divergence_b", "shift", "rate_a", "rate_b",
+    "t", "delta_divergence", "in_a", "in_b",
+}
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server = create_server(port=0, seed=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def compare_url(server_url, query):
+    return f"{server_url}/api/compare?{query}"
+
+
+class TestCompareEndpoint:
+    def test_builtin_dataset(self, server_url):
+        data = get_json(compare_url(
+            server_url,
+            "dataset=compas&models=pred,classifier:tree&support=0.1&top=5",
+        ))
+        assert data["dataset"] == "compas"
+        assert data["metric"] == "fpr"
+        assert data["models"] == ["pred", "classifier:tree"]
+        assert data["baseline"] == "pred"
+        assert data["n_patterns"] > 0
+        assert set(data["global_rates"]) == {"pred", "classifier:tree"}
+        assert len(data["comparisons"]) == 1
+        challenger = data["comparisons"][0]
+        assert challenger["model"] == "classifier:tree"
+        assert 0 < len(challenger["shifts"]) <= 5
+        for row in challenger["shifts"]:
+            assert set(row) == SHIFT_KEYS
+        for row in challenger["regressions"]:
+            assert set(row) == SHIFT_KEYS
+            assert abs(row["divergence_b"]) > abs(row["divergence_a"])
+
+    def test_explicit_baseline(self, server_url):
+        data = get_json(compare_url(
+            server_url,
+            "dataset=compas&models=pred,classifier:tree"
+            "&baseline=classifier:tree&support=0.1&top=3",
+        ))
+        assert data["baseline"] == "classifier:tree"
+        assert [c["model"] for c in data["comparisons"]] == ["pred"]
+
+    def test_min_t_gates_shifts(self, server_url):
+        data = get_json(compare_url(
+            server_url,
+            "dataset=compas&models=pred,classifier:tree&support=0.1"
+            "&top=50&min_t=3",
+        ))
+        for row in data["comparisons"][0]["shifts"]:
+            one_sided = not (row["in_a"] and row["in_b"])
+            assert one_sided or abs(row["t"]) >= 3.0
+
+    def test_cache_hit_on_repeat(self, server_url):
+        query = "dataset=compas&models=pred,classifier:tree&support=0.2&top=2"
+        get_json(compare_url(server_url, query))
+        before = get_json(server_url + "/api/metrics")["counters"].get(
+            "compare.cache_hits", 0
+        )
+        get_json(compare_url(server_url, query))
+        after = get_json(server_url + "/api/metrics")["counters"][
+            "compare.cache_hits"
+        ]
+        assert after == before + 1
+
+    def test_counters_registered(self, server_url):
+        counters = get_json(server_url + "/api/metrics")["counters"]
+        for name in (
+            "compare.explores",
+            "compare.models_compared",
+            "compare.cache_hits",
+            "compare.cache_misses",
+        ):
+            assert name in counters
+
+
+class TestUploadCompare:
+    CSV = (
+        "x,y,class,pred_a,pred_b\n"
+        + "\n".join(
+            "{x},{y},{c},{pa},{pb}".format(
+                x=i % 3,
+                y=(i // 3) % 2,
+                c=i % 2,
+                pa=i % 2 if i % 7 else 1 - i % 2,
+                pb=i % 2 if (i % 3 or i % 2) else 1 - i % 2,
+            )
+            for i in range(300)
+        )
+        + "\n"
+    )
+
+    def upload(self, server_url):
+        request = urllib.request.Request(
+            server_url
+            + "/api/upload?name=duel&true_column=class&pred_column=pred_a",
+            data=self.CSV.encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())["dataset"]
+
+    def test_upload_then_compare(self, server_url):
+        handle = self.upload(server_url)
+        data = get_json(compare_url(
+            server_url,
+            f"dataset={handle}&models=pred_a,pred_b&metric=error"
+            "&support=0.1&top=10",
+        ))
+        assert data["models"] == ["pred_a", "pred_b"]
+        assert data["n_patterns"] > 0
+        # pred_b errs exactly on rows divisible by 6: its error diverges
+        # somewhere, so at least one measurable shift comes back
+        assert data["comparisons"][0]["shifts"]
+
+
+class TestCompareErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "dataset=compas",  # models missing
+            "dataset=compas&models=pred",  # one model
+            "dataset=compas&models=pred,pred",  # duplicates
+            "dataset=compas&models=pred,classifier:tree&min_t=-1",
+            "dataset=compas&models=pred,classifier:tree&min_t=nan",
+            "dataset=compas&models=pred,nosuchcolumn",
+            "dataset=compas&models=pred,classifier:bogus",
+            "dataset=compas&models=pred,classifier:tree&baseline=ghost",
+            "dataset=compas&models=pred,classifier:tree&support=0",
+            "dataset=nope&models=pred,classifier:tree",
+        ],
+    )
+    def test_bad_request_400(self, server_url, query):
+        with pytest.raises(HTTPError) as err:
+            get_json(compare_url(server_url, query))
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read())
