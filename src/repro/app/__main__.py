@@ -38,6 +38,14 @@ def main() -> None:
         help="dataset size from which deadline-carrying explore requests "
         "are answered by progressive sampling (default 200000)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="durable pattern store (JSONL log): monitor windows are "
+        "journaled into it and /api/patterns serves the persisted "
+        "ledger across restarts",
+    )
     args = parser.parse_args()
     extra = {}
     if args.approx_auto_rows is not None:
@@ -49,6 +57,7 @@ def main() -> None:
         default_deadline=args.deadline,
         max_concurrent=args.max_concurrent,
         workers=args.workers,
+        store_path=args.store,
         **extra,
     )
     host, port = server.server_address[:2]

@@ -23,7 +23,16 @@ Streaming monitor endpoints (see ``docs/streaming.md``): ``POST
 lock-protected :class:`~repro.stream.monitor.DivergenceMonitor`
 (created on first ingest from the request's config params), ``GET
 /api/monitor/status`` snapshots it, and ``GET /api/monitor/alerts``
-returns the structured drift-alert log.
+returns the structured drift-alert log (paginated via ``offset`` /
+``limit``; ``since`` skips already-seen entries).
+
+Pattern store endpoints (see ``docs/patterns.md``): when the server is
+started with a store path (``--store`` / ``store_path=``), every
+monitor window is journaled into a durable
+:class:`~repro.store.PatternStore` that survives restarts. ``GET
+/api/patterns`` serves the deduplicated pattern ledger (paginated,
+filterable by ``acked``, ``min_divergence`` and ``since_window``) and
+``POST /api/patterns/ack`` flips a pattern's acknowledgement state.
 
 Errors return ``{"error": ...}`` with status 400/404. Every payload is
 sanitized before serialization: non-finite floats (``inf``/``nan``)
@@ -45,9 +54,12 @@ Resilience (see ``docs/resilience.md``):
   "requested_support", "served_support"}``.
 - Backpressure: at most ``max_concurrent`` expensive requests run at
   once (admission is a non-blocking semaphore); excess load is shed
-  with ``503`` + ``Retry-After``. Cheap endpoints (``/``,
-  ``/api/datasets``, ``/api/metrics``) are exempt so health checks and
-  dashboards keep working under load.
+  with ``503`` + ``Retry-After``. The ``Retry-After`` value is a
+  computed backoff hint — it scales with the busy fraction of the
+  admission slots and the request's own deadline budget, clamped to
+  ``[1, 30]`` seconds (see :func:`retry_after_hint`). Cheap endpoints
+  (``/``, ``/api/datasets``, ``/api/metrics``) are exempt so health
+  checks and dashboards keep working under load.
 - Counters ``resilience.timeouts`` / ``resilience.shed`` /
   ``resilience.degraded`` / ``resilience.cancelled`` surface in
   ``/api/metrics``.
@@ -98,8 +110,10 @@ from repro.params import (
     validate_confidence,
     validate_deadline,
     validate_epsilon,
+    validate_limit,
     validate_min_t,
     validate_models,
+    validate_offset,
     validate_sample,
     validate_step,
     validate_support,
@@ -113,6 +127,7 @@ from repro.resilience import (
     DeadlineExceeded,
     cancel_scope,
 )
+from repro.store import PatternStore
 from repro.stream import DivergenceMonitor, DriftConfig
 from repro.stream.runner import catalog_for
 
@@ -204,6 +219,7 @@ class AppState:
         max_concurrent: int = MAX_CONCURRENT,
         default_workers: int | None = None,
         approx_auto_rows: int = APPROX_AUTO_ROWS,
+        store_path: str | None = None,
     ) -> None:
         self.seed = seed
         self.max_results = max(1, max_results)
@@ -221,6 +237,13 @@ class AppState:
         # Admission ticket pool for expensive endpoints; Bounded so a
         # mismatched release fails loudly instead of widening the gate.
         self.admission = threading.BoundedSemaphore(self.max_concurrent)
+        # Durable pattern store: opened at startup so /api/patterns
+        # serves the persisted ledger even before (or without) a live
+        # monitor session — that is what makes alert history survive
+        # restarts.
+        self.store = (
+            PatternStore(store_path) if store_path is not None else None
+        )
         self._cache: OrderedDict[tuple, _CachedExploration] = OrderedDict()
         # Model comparisons live in their own LRU: the exploration cache
         # is keyed by 3-tuples that coarser_support() introspects, and a
@@ -259,7 +282,7 @@ class AppState:
                 self._monitor = None
             if self._monitor is None and create:
                 self._monitor = _MonitorSession.from_params(
-                    params, seed=self.seed
+                    params, seed=self.seed, store=self.store
                 )
             return self._monitor
 
@@ -566,9 +589,21 @@ class AppState:
         ).start()
         return True
 
+    def admission_busy(self) -> int:
+        """Admission slots currently held by in-flight requests.
+
+        Reads the semaphore's internal counter — a CPython
+        implementation detail, but a stable one, and strictly advisory:
+        the value only shapes the ``Retry-After`` backoff hint.
+        """
+        return self.max_concurrent - self.admission._value
+
     def close(self) -> None:
-        """Stop background refinement threads at their next checkpoint."""
+        """Stop background refinement threads at their next checkpoint
+        and release the pattern store's log handle."""
         self._refine_token.cancel("server closed")
+        if self.store is not None:
+            self.store.close()
 
     def explore_rows(
         self,
@@ -635,7 +670,10 @@ class _MonitorSession:
 
     @classmethod
     def from_params(
-        cls, params: dict[str, str], seed: int = 0
+        cls,
+        params: dict[str, str],
+        seed: int = 0,
+        store: PatternStore | None = None,
     ) -> "_MonitorSession":
         dataset = params.get("dataset", "compas")
         if dataset not in DATASET_NAMES:
@@ -664,6 +702,7 @@ class _MonitorSession:
                 ),
                 top_k=validate_top(params.get("top", "10")),
             ),
+            store=store,
         )
         return cls(dataset, metric, monitor)
 
@@ -728,6 +767,26 @@ class _MonitorSession:
         return matrix
 
 
+def retry_after_hint(
+    busy: int, capacity: int, deadline: float | None
+) -> str:
+    """Computed ``Retry-After`` backoff hint in whole seconds.
+
+    A hard-coded ``1`` tells every shed client to hammer the server
+    again immediately — exactly wrong under sustained overload. The
+    hint instead scales with the busy fraction of the admission slots
+    (a full server needs time to drain) and with the request's own
+    deadline budget (a caller tolerating a 10 s deadline can afford a
+    longer pause than a 100 ms one), clamped to ``[1, 30]`` seconds so
+    clients never see zero or an absurd wait. An idle server with no
+    deadline still yields the historical ``"1"``.
+    """
+    base = deadline if deadline is not None else 1.0
+    load = busy / capacity if capacity > 0 else 1.0
+    seconds = math.ceil(base * (0.5 + load))
+    return str(int(max(1, min(30, seconds))))
+
+
 def _json_safe(value: float) -> float | None:
     """``None`` for non-finite floats, the value otherwise.
 
@@ -784,6 +843,8 @@ class _Handler(BaseHTTPRequestHandler):
             "/api/monitor/ingest",
             "/api/monitor/status",
             "/api/monitor/alerts",
+            "/api/patterns",
+            "/api/patterns/ack",
         }
     )
 
@@ -804,6 +865,8 @@ class _Handler(BaseHTTPRequestHandler):
     # Endpoints cheap enough to bypass admission control: health/UI,
     # static characteristics and the metrics dashboard must stay
     # reachable even when every mining slot is busy.
+    # The pattern-store endpoints are in-memory reads/appends (no
+    # mining), so they stay reachable under full mining load too.
     _CHEAP_PATHS = frozenset(
         {
             "/",
@@ -811,6 +874,8 @@ class _Handler(BaseHTTPRequestHandler):
             "/api/metrics",
             "/api/monitor/status",
             "/api/monitor/alerts",
+            "/api/patterns",
+            "/api/patterns/ack",
         }
     )
 
@@ -834,7 +899,7 @@ class _Handler(BaseHTTPRequestHandler):
         deadline: float | None = None
         try:
             deadline = self._deadline(params)
-            if not self._admit(parsed.path):
+            if not self._admit(parsed.path, deadline):
                 return  # shed: the 503 has already been sent
             try:
                 with cancel_scope(deadline=deadline):
@@ -851,7 +916,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 {"error": str(exc), "cancelled": True},
                 503,
-                headers={"Retry-After": "1"},
+                headers=self._retry_after(deadline),
             )
         except ReproError as exc:
             self._send_json({"error": str(exc)}, 400)
@@ -883,6 +948,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(self._monitor_status())
         elif path == "/api/monitor/alerts":
             self._send_json(self._monitor_alerts(params))
+        elif path == "/api/patterns":
+            self._send_json(self._patterns(params))
         else:
             self._send_json({"error": f"unknown path {path}"}, 404)
 
@@ -898,11 +965,12 @@ class _Handler(BaseHTTPRequestHandler):
             return self._state.default_deadline
         return validate_deadline(raw)
 
-    def _admit(self, path: str) -> bool:
+    def _admit(self, path: str, deadline: float | None = None) -> bool:
         """Non-blocking admission for expensive endpoints.
 
         Returns ``False`` after sending ``503`` + ``Retry-After`` when
-        every slot is busy (the request was shed).
+        every slot is busy (the request was shed); the header carries
+        the computed backoff hint for the current load.
         """
         self._admitted = False
         if path in self._CHEAP_PATHS or path not in self._KNOWN_PATHS:
@@ -917,9 +985,18 @@ class _Handler(BaseHTTPRequestHandler):
                 "shed": True,
             },
             503,
-            headers={"Retry-After": "1"},
+            headers=self._retry_after(deadline),
         )
         return False
+
+    def _retry_after(self, deadline: float | None) -> dict[str, str]:
+        """``Retry-After`` header computed from load and budget."""
+        state = self._state
+        return {
+            "Retry-After": retry_after_hint(
+                state.admission_busy(), state.max_concurrent, deadline
+            )
+        }
 
     def _release(self) -> None:
         if getattr(self, "_admitted", False):
@@ -950,7 +1027,7 @@ class _Handler(BaseHTTPRequestHandler):
         payload: dict = {"error": str(exc), "timeout": True}
         if deadline is not None:
             payload["deadline"] = deadline
-        self._send_json(payload, 504, headers={"Retry-After": "1"})
+        self._send_json(payload, 504, headers=self._retry_after(deadline))
 
     def _sampled_fallback(
         self,
@@ -1054,7 +1131,7 @@ class _Handler(BaseHTTPRequestHandler):
         deadline: float | None = None
         try:
             deadline = self._deadline(params)
-            if not self._admit(parsed.path):
+            if not self._admit(parsed.path, deadline):
                 return  # shed: the 503 has already been sent
             try:
                 if parsed.path == "/api/upload":
@@ -1081,6 +1158,11 @@ class _Handler(BaseHTTPRequestHandler):
                         self._send_json(
                             self._state.monitor_ingest(params, body_bytes)
                         )
+                elif parsed.path == "/api/patterns/ack":
+                    length = int(self.headers.get("Content-Length", "0"))
+                    if length <= 0:
+                        raise ReproError("empty ack body")
+                    self._patterns_ack(self.rfile.read(length))
                 else:
                     self._send_json(
                         {"error": f"unknown path {parsed.path}"}, 404
@@ -1092,13 +1174,13 @@ class _Handler(BaseHTTPRequestHandler):
             payload: dict = {"error": str(exc), "timeout": True}
             if deadline is not None:
                 payload["deadline"] = deadline
-            self._send_json(payload, 504, headers={"Retry-After": "1"})
+            self._send_json(payload, 504, headers=self._retry_after(deadline))
         except CancellationError as exc:
             get_registry().counter("resilience.cancelled").inc()
             self._send_json(
                 {"error": str(exc), "cancelled": True},
                 503,
-                headers={"Retry-After": "1"},
+                headers=self._retry_after(deadline),
             )
         except ReproError as exc:
             self._send_json({"error": str(exc)}, 400)
@@ -1428,27 +1510,135 @@ class _Handler(BaseHTTPRequestHandler):
         return status
 
     def _monitor_alerts(self, params: dict[str, str]) -> dict:
-        """Drift alert log (``/api/monitor/alerts``); ``since`` skips
-        already-seen entries (pass back the previous ``next``)."""
+        """Drift alert log (``/api/monitor/alerts``).
+
+        ``since`` skips already-seen entries (pass back the previous
+        ``next``); ``offset``/``limit`` paginate what remains, so the
+        response stays bounded however long the alert log grows. The
+        alert list is snapshotted under the monitor lock — a concurrent
+        ingest appending mid-serialization must not skew ``next``
+        against the entries actually returned.
+        """
         try:
             since = int(params.get("since", "0"))
         except ValueError:
             raise ReproError(
                 f"since must be an integer, got {params.get('since')!r}"
             ) from None
+        offset = validate_offset(params.get("offset"))
+        limit = validate_limit(params.get("limit"))
         session = self._state.monitor_session({})
         if session is None:
             return {"active": False, "alerts": [], "next": 0}
-        alerts = session.monitor.alerts
+        alerts = session.monitor.alerts_snapshot()
+        selected = [
+            dict(a.as_dict(), seq=i)
+            for i, a in enumerate(alerts)
+            if i >= since
+        ]
+        page = selected[offset:]
+        if limit is not None:
+            page = page[:limit]
         return {
             "active": True,
-            "alerts": [
-                dict(a.as_dict(), seq=i)
-                for i, a in enumerate(alerts)
-                if i >= since
-            ],
+            "alerts": page,
+            "total": len(selected),
             "next": len(alerts),
         }
+
+    def _patterns(self, params: dict[str, str]) -> dict:
+        """Durable pattern ledger (``GET /api/patterns``).
+
+        Served straight from the :class:`~repro.store.PatternStore`
+        (no mining), filterable by acknowledgement state, minimum
+        ``|divergence|`` and last-seen window, with the same
+        ``offset``/``limit`` pagination as the alert log.
+        """
+        store = self._state.store
+        if store is None:
+            return {"store": False, "total": 0, "patterns": []}
+        offset = validate_offset(params.get("offset"))
+        limit = validate_limit(params.get("limit"))
+        acked: bool | None = None
+        raw_acked = params.get("acked")
+        if raw_acked is not None:
+            lowered = raw_acked.strip().lower()
+            if lowered in ("true", "1"):
+                acked = True
+            elif lowered in ("false", "0"):
+                acked = False
+            else:
+                raise ReproError(
+                    f"acked must be true or false, got {raw_acked!r}"
+                )
+        min_divergence = None
+        if "min_divergence" in params:
+            min_divergence = validate_alert_threshold(
+                params["min_divergence"]
+            )
+        since_window = None
+        raw_since = params.get("since_window")
+        if raw_since is not None:
+            try:
+                since_window = int(raw_since)
+            except ValueError:
+                raise ReproError(
+                    f"since_window must be an integer, got {raw_since!r}"
+                ) from None
+        payload = store.query(
+            offset=offset,
+            limit=limit,
+            acked=acked,
+            min_divergence=min_divergence,
+            since_window=since_window,
+        )
+        payload["store"] = True
+        return payload
+
+    def _patterns_ack(self, body: bytes) -> None:
+        """Acknowledgement toggle (``POST /api/patterns/ack``).
+
+        Body: ``{"items": [...], "acked": bool?, "note": str?}`` where
+        ``items`` is the pattern's canonical key as returned by
+        ``GET /api/patterns``. Unknown keys are a 404 — an ack must
+        reference a pattern the store has actually seen.
+        """
+        store = self._state.store
+        if store is None:
+            raise ReproError(
+                "no pattern store configured (start the server with "
+                "--store PATH)"
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReproError(f"ack body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("items"), list
+        ):
+            raise ReproError(
+                "ack body must be an object with an 'items' list of "
+                "item ids"
+            )
+        try:
+            key = [int(i) for i in payload["items"]]
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"items must be integers, got {payload['items']!r}"
+            ) from None
+        acked = payload.get("acked", True)
+        if not isinstance(acked, bool):
+            raise ReproError(f"acked must be a boolean, got {acked!r}")
+        note = payload.get("note")
+        if note is not None and not isinstance(note, str):
+            raise ReproError(f"note must be a string, got {note!r}")
+        if store.entry(key) is None:
+            self._send_json(
+                {"error": f"unknown pattern key {sorted(key)}"}, 404
+            )
+            return
+        entry = store.ack(key, acked=acked, note=note)
+        self._send_json({"acked": acked, "pattern": entry})
 
     def _metrics(self) -> dict:
         """Process-wide observability snapshot (``/api/metrics``).
@@ -1528,6 +1718,7 @@ def create_server(
     max_concurrent: int = AppState.MAX_CONCURRENT,
     workers: int | None = None,
     approx_auto_rows: int = AppState.APPROX_AUTO_ROWS,
+    store_path: str | None = None,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the exploration server.
 
@@ -1542,7 +1733,10 @@ def create_server(
     parameter. Worker counts never change results, only speed.
     ``approx_auto_rows`` is the dataset size from which deadline-carrying
     ``/api/explore`` requests are served by progressive sampling instead
-    of exact mining (see ``docs/approx.md``).
+    of exact mining (see ``docs/approx.md``). ``store_path`` opens a
+    durable :class:`~repro.store.PatternStore` at that path: monitor
+    windows are journaled into it and ``/api/patterns`` serves the
+    persisted ledger across restarts (see ``docs/patterns.md``).
     """
     server = _AppServer((host, port), _Handler)
     server.app_state = AppState(  # type: ignore[attr-defined]
@@ -1552,6 +1746,7 @@ def create_server(
         max_concurrent=max_concurrent,
         default_workers=workers,
         approx_auto_rows=approx_auto_rows,
+        store_path=store_path,
     )
     # Pre-register the resilience/stream/approx counters so
     # /api/metrics shows them at zero before first use instead of
@@ -1574,6 +1769,12 @@ def create_server(
         "compare.models_compared",
         "compare.cache_hits",
         "compare.cache_misses",
+        "store.appends",
+        "store.windows",
+        "store.alerts",
+        "store.acks",
+        "store.compactions",
+        "store.recovered_dropped",
     ):
         registry.counter(name)
     return server

@@ -13,7 +13,11 @@ Subcommands cover the full analysis surface:
 - ``study``      — run the simulated bias-injection user study
 - ``monitor``    — streaming divergence monitor: replay a dataset in
   shuffled batches (optionally with injected drift) and print the
-  drift-alert timeline
+  drift-alert timeline; ``--store`` journals every window into a
+  durable pattern store
+- ``patterns``   — inspect and manage a durable pattern store: list
+  the ledger (filterable, paginated), acknowledge or reopen patterns,
+  force compaction
 
 Data can come from a bundled generator (``--dataset compas``) or from a
 CSV file (``--csv data.csv --true-column y --pred-column yhat``), in
@@ -40,8 +44,10 @@ from repro.params import (
     validate_confidence,
     validate_deadline,
     validate_epsilon,
+    validate_limit,
     validate_min_t,
     validate_models,
+    validate_offset,
     validate_sample,
     validate_step,
     validate_support,
@@ -244,6 +250,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--max-rows", type=int, default=None,
                        help="truncate the replay to this many rows")
     p_mon.add_argument("--seed", type=int, default=0)
+    p_mon.add_argument("--store", metavar="PATH", default=None,
+                       help="journal every mined window into this durable "
+                            "pattern store (inspect with 'patterns')")
+
+    p_pat = sub.add_parser(
+        "patterns",
+        help="inspect and manage a durable pattern store",
+    )
+    add_profile_arg(p_pat)
+    p_pat.add_argument("--store", metavar="PATH", required=True,
+                       help="pattern store log written by 'monitor --store' "
+                            "or the app server")
+    p_pat.add_argument("--offset", type=_arg(validate_offset), default=0,
+                       help="pagination offset into the filtered ledger")
+    p_pat.add_argument("--limit", type=_arg(validate_limit), default=20,
+                       help="patterns listed per invocation")
+    state = p_pat.add_mutually_exclusive_group()
+    state.add_argument("--acked", action="store_true",
+                       help="list only acknowledged patterns")
+    state.add_argument("--unacked", action="store_true",
+                       help="list only unacknowledged patterns")
+    p_pat.add_argument("--min-divergence",
+                       type=_arg(validate_alert_threshold), default=None,
+                       help="minimum latest |divergence| to list")
+    p_pat.add_argument("--since-window", type=int, default=None,
+                       help="list patterns last seen in window >= this")
+    p_pat.add_argument("--ack", metavar="KEY", default=None,
+                       help="acknowledge the pattern with this key "
+                            "(comma-separated item ids from the listing)")
+    p_pat.add_argument("--unack", metavar="KEY", default=None,
+                       help="reopen (un-acknowledge) the pattern")
+    p_pat.add_argument("--note", default=None,
+                       help="note recorded with --ack")
+    p_pat.add_argument("--compact", action="store_true",
+                       help="rewrite the log to one record per live pattern")
 
     return parser
 
@@ -336,6 +377,10 @@ def _dispatch(args: argparse.Namespace) -> None:
 
     if args.command == "monitor":
         _run_monitor(args)
+        return
+
+    if args.command == "patterns":
+        _run_patterns(args)
         return
 
     if args.command == "compare":
@@ -519,6 +564,7 @@ def _run_compare(args: argparse.Namespace) -> None:
 
 def _run_monitor(args: argparse.Namespace) -> None:
     """Replay a dataset through the streaming monitor and print alerts."""
+    from repro.store import PatternStore
     from repro.stream import DriftConfig, DriftInjection, replay
 
     drift = DriftConfig(
@@ -532,20 +578,32 @@ def _run_monitor(args: argparse.Namespace) -> None:
         if args.inject
         else None
     )
-    report = replay(
-        args.dataset,
-        metric=args.metric,
-        batch_size=args.batch_size,
-        window=args.window,
-        step=args.step,
-        min_support=args.support,
-        algorithm=args.algorithm,
-        drift=drift,
-        injection=injection,
-        seed=args.seed,
-        max_rows=args.max_rows,
-        n_workers=args.workers,
-    )
+    store = PatternStore(args.store) if args.store else None
+    try:
+        report = replay(
+            args.dataset,
+            metric=args.metric,
+            batch_size=args.batch_size,
+            window=args.window,
+            step=args.step,
+            min_support=args.support,
+            algorithm=args.algorithm,
+            drift=drift,
+            injection=injection,
+            seed=args.seed,
+            max_rows=args.max_rows,
+            n_workers=args.workers,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            stats = store.stats()
+            store.close()
+            print(
+                f"pattern store {stats['path']}: {stats['patterns']} "
+                f"patterns, {stats['bytes']} bytes, "
+                f"{stats['alerted']} alerted"
+            )
     monitor = report.monitor
     policy = monitor.policy
     print(
@@ -591,6 +649,85 @@ def _run_monitor(args: argparse.Namespace) -> None:
                 f"(lag {lag} windows, {len(report.matching_alerts())} "
                 "matching alerts)"
             )
+
+
+def _run_patterns(args: argparse.Namespace) -> None:
+    """Inspect or manage a durable pattern store from the CLI."""
+    import os
+
+    from repro.store import PatternStore
+
+    if not os.path.exists(args.store):
+        raise ReproError(
+            f"no pattern store at {args.store!r} "
+            "(create one with 'monitor --store' or the app server)"
+        )
+    with PatternStore(args.store, auto_compact=False) as store:
+        if args.ack or args.unack:
+            raw = args.ack if args.ack else args.unack
+            try:
+                key = [int(part) for part in raw.split(",") if part.strip()]
+            except ValueError:
+                raise ReproError(
+                    f"--ack/--unack key must be comma-separated item ids, "
+                    f"got {raw!r}"
+                ) from None
+            entry = store.ack(key, acked=bool(args.ack), note=args.note)
+            state = "acknowledged" if args.ack else "reopened"
+            print(f"{state} {entry['itemset']} (key {entry['key']})")
+            return
+        if args.compact:
+            before = store.stats()["bytes"]
+            store.compact()
+            after = store.stats()["bytes"]
+            print(f"compacted {args.store}: {before} -> {after} bytes")
+            return
+        acked = True if args.acked else (False if args.unacked else None)
+        payload = store.query(
+            offset=args.offset,
+            limit=args.limit,
+            acked=acked,
+            min_divergence=args.min_divergence,
+            since_window=args.since_window,
+        )
+        stats = store.stats()
+    rows = [
+        {
+            "key": ",".join(str(i) for i in entry["key"]),
+            "itemset": entry["itemset"],
+            "Δ": _fmt(
+                entry["divergence"]
+                if entry["divergence"] is not None
+                else float("nan")
+            ),
+            "sup": _fmt(
+                entry["support"]
+                if entry["support"] is not None
+                else float("nan")
+            ),
+            "windows": entry["windows_seen"],
+            "alerts": entry["alerts"],
+            "acked": "yes" if entry["acked"] else "",
+            "last seen": entry["last_seen_window"],
+        }
+        for entry in payload["patterns"]
+    ]
+    title = (
+        f"pattern store {args.store} "
+        f"({payload['total']} matching of {stats['patterns']} patterns, "
+        f"last window {payload['last_window']})"
+    )
+    if rows:
+        print(format_table(rows, title=title))
+    else:
+        print(title)
+        print("no patterns match the filters")
+    shown_to = args.offset + len(rows)
+    if shown_to < payload["total"]:
+        print(
+            f"showing {args.offset}..{shown_to} of {payload['total']}; "
+            f"rerun with --offset {shown_to}"
+        )
 
 
 def _fmt(value: float, digits: int = 3) -> str:

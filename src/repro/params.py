@@ -20,8 +20,10 @@ __all__ = [
     "validate_confidence",
     "validate_deadline",
     "validate_epsilon",
+    "validate_limit",
     "validate_min_t",
     "validate_models",
+    "validate_offset",
     "validate_sample",
     "validate_step",
     "validate_support",
@@ -112,6 +114,45 @@ def validate_step(value: int | str | None) -> int | None:
 def validate_batch_size(value: int | str) -> int:
     """Coerce and check an ingestion batch size: ``batch_size >= 1``."""
     return _validate_positive_int(value, "batch_size", 1)
+
+
+def validate_offset(value: int | str | None) -> int:
+    """Coerce and check a pagination offset: ``offset >= 0``.
+
+    ``None`` (parameter absent) reads as 0 — start of the collection.
+    Float strings like ``"1.5"`` are rejected rather than truncated.
+    """
+    if value is None:
+        return 0
+    try:
+        offset = int(str(value))
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"offset must be an integer >= 0, got {value!r}"
+        ) from None
+    if offset < 0:
+        raise ReproError(f"offset must be >= 0, got {value!r}")
+    return offset
+
+
+def validate_limit(value: int | str | None) -> int | None:
+    """Coerce and check a pagination limit: ``limit >= 1`` or ``None``.
+
+    ``None`` (parameter absent) means unbounded — the endpoints'
+    pre-pagination behavior. A zero or negative limit is rejected: an
+    empty page is never what a client meant to ask for.
+    """
+    if value is None:
+        return None
+    try:
+        limit = int(str(value))
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"limit must be an integer >= 1, got {value!r}"
+        ) from None
+    if limit < 1:
+        raise ReproError(f"limit must be >= 1, got {value!r}")
+    return limit
 
 
 def validate_alert_threshold(value: float | str) -> float:

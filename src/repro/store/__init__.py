@@ -1,0 +1,28 @@
+"""Durable pattern store (``repro.store``).
+
+Makes mined divergence patterns durable artifacts instead of ephemeral
+window summaries: an append-only CRC-framed JSONL log keyed by
+canonical itemset, with per-pattern divergence history, recurrence and
+alert statistics, acknowledgement state and corrective-item
+suggestions, plus background compaction to one record per live
+pattern. See ``docs/patterns.md`` for the log format, the compaction
+contract and the alert acknowledgement lifecycle.
+"""
+
+from repro.store.log import (
+    append_frame,
+    decode_frame,
+    encode_frame,
+    read_frames,
+)
+from repro.store.store import STORE_VERSION, PatternStore, canonical_key
+
+__all__ = [
+    "STORE_VERSION",
+    "PatternStore",
+    "append_frame",
+    "canonical_key",
+    "decode_frame",
+    "encode_frame",
+    "read_frames",
+]

@@ -1,0 +1,146 @@
+"""CRC-framed append-only JSONL log with torn-tail recovery.
+
+The durable substrate of :mod:`repro.store`: one record per line,
+framed as ``<crc32 hex, 8 chars> <compact JSON>\\n`` where the checksum
+covers the JSON payload bytes. Appends are flushed (and optionally
+``fsync``'d) per record, so after a crash at most the final record is
+torn — a partial line with no terminator, a truncated payload, or a
+frame whose checksum no longer matches. :func:`read_frames` recovers by
+replaying frames in order and stopping at the first bad one: with
+per-record flushes nothing valid can follow a torn frame, so everything
+from the first bad byte onward is dropped (and counted) rather than
+guessed at. The caller truncates the file back to the recovered prefix
+before appending again, which keeps the log self-healing across any
+number of kill-and-restart cycles.
+
+Records are plain JSON objects; framing is content-agnostic. Payloads
+must not contain raw newlines — ``json.dumps`` with default separators
+guarantees that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import IO, Any
+
+from repro.exceptions import ReproError
+
+_CRC_WIDTH = 8
+
+
+def encode_frame(record: dict[str, Any]) -> bytes:
+    """Serialize one record to its framed line (including newline)."""
+    payload = json.dumps(
+        record, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return b"%08x " % (zlib.crc32(payload) & 0xFFFFFFFF,) + payload + b"\n"
+
+
+def decode_frame(line: bytes) -> dict[str, Any] | None:
+    """Decode one framed line; ``None`` when the frame is damaged.
+
+    A frame is damaged when it is too short to carry a checksum, the
+    checksum does not match the payload, or the payload is not a JSON
+    object — all the shapes a torn ``write`` can leave behind.
+    """
+    if len(line) < _CRC_WIDTH + 2 or line[_CRC_WIDTH : _CRC_WIDTH + 1] != b" ":
+        return None
+    try:
+        expected = int(line[:_CRC_WIDTH], 16)
+    except ValueError:
+        return None
+    payload = line[_CRC_WIDTH + 1 :]
+    if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def append_frame(fh: IO[bytes], record: dict[str, Any], fsync: bool) -> int:
+    """Append one framed record; returns the bytes written.
+
+    The frame is flushed to the OS unconditionally and ``fsync``'d to
+    the device when requested — durability of acknowledgements and
+    alert history is the store's contract, so the default caller always
+    syncs.
+    """
+    frame = encode_frame(record)
+    fh.write(frame)
+    fh.flush()
+    if fsync:
+        os.fsync(fh.fileno())
+    return len(frame)
+
+
+def read_frames(path: str) -> tuple[list[dict[str, Any]], int, int]:
+    """Replay a log file tolerantly.
+
+    Returns ``(records, good_bytes, dropped)``: the records of every
+    intact frame up to the first damaged one, the byte offset of the
+    end of the last intact frame (the truncation point for subsequent
+    appends), and how many damaged/abandoned line fragments were
+    dropped. A missing file reads as an empty log.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    records: list[dict[str, Any]] = []
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            # Unterminated tail: the crash interrupted the write.
+            break
+        record = decode_frame(raw[offset:newline])
+        if record is None:
+            # Damaged frame: nothing after it is trustworthy (appends
+            # are flushed in order), so stop the replay here.
+            break
+        records.append(record)
+        offset = newline + 1
+    dropped = sum(
+        1 for part in raw[offset:].split(b"\n") if part.strip()
+    )
+    return records, offset, dropped
+
+
+def open_for_append(path: str, good_bytes: int) -> IO[bytes]:
+    """Open the log for appending, truncating any torn tail first."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory and not os.path.isdir(directory):
+        raise ReproError(f"store directory does not exist: {directory!r}")
+    fh = open(path, "ab")
+    try:
+        if fh.tell() > good_bytes:
+            fh.truncate(good_bytes)
+            fh.seek(0, os.SEEK_END)
+    except OSError:
+        fh.close()
+        raise
+    return fh
+
+
+def fsync_directory(path: str) -> None:
+    """``fsync`` the directory containing ``path`` (post-rename durability).
+
+    Best effort: some platforms/filesystems refuse directory fds; the
+    rename itself is still atomic there.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from repro.resilience import checkpoint
 from repro.stream.drift import DriftAlert, DriftConfig, score_drift
 from repro.stream.ingest import StreamBuffer
 from repro.stream.window import SlidingWindows, Window, WindowPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store import PatternStore
 
 
 @dataclass
@@ -81,6 +85,12 @@ class DivergenceMonitor:
     keep_results:
         Number of trailing windows whose full divergence tables are
         retained (at least 2 — drift needs the previous window).
+    store:
+        Optional :class:`~repro.store.PatternStore`: every mined
+        window's pattern rows and fired alerts are journaled into it
+        durably, and alerted patterns get corrective-item suggestions
+        attached — so the alert history survives process restarts (see
+        ``docs/patterns.md``).
     """
 
     def __init__(
@@ -97,6 +107,7 @@ class DivergenceMonitor:
         mining_cache: MiningCache | None = None,
         keep_results: int = 4,
         n_workers: int | None = None,
+        store: "PatternStore | None" = None,
     ) -> None:
         self.catalog = catalog
         self.metric = metric
@@ -110,6 +121,7 @@ class DivergenceMonitor:
             mining_cache if mining_cache is not None else MiningCache(max_entries=8)
         )
         self.keep_results = max(2, int(keep_results))
+        self.store = store
         self.buffer = StreamBuffer(catalog, n_channels=2)
         self.windows: list[WindowStats] = []
         self.alerts: list[DriftAlert] = []
@@ -189,6 +201,7 @@ class DivergenceMonitor:
             previous = self.windows[-1] if self.windows else None
             self.windows.append(stats)
             registry.counter("stream.windows").inc()
+            fired: list[DriftAlert] = []
             if previous is not None and previous.result is not None:
                 fired = score_drift(
                     previous.result,
@@ -200,8 +213,49 @@ class DivergenceMonitor:
                     self.alerts.extend(fired)
                     new_alerts.extend(fired)
                     registry.counter("stream.alerts").inc(len(fired))
+            if self.store is not None:
+                self._journal(window.index, stats.result, fired)
             self._trim_results()
         return new_alerts
+
+    def _journal(
+        self,
+        window_index: int,
+        result: PatternDivergenceResult,
+        fired: list[DriftAlert],
+    ) -> None:
+        """Persist one window into the pattern store. Lock held.
+
+        Alerted patterns additionally get corrective-item suggestions
+        attached: the items whose removal most reduces the pattern's
+        divergence in the current window (the paper's corrective-item
+        search, restricted to the alerted subgroups).
+        """
+        self.store.record_window(
+            window_index,
+            (
+                (
+                    result.key_of(r.itemset),
+                    str(r.itemset),
+                    r.divergence,
+                    r.support,
+                    r.t_signed,
+                )
+                for r in result.records()
+            ),
+            fired,
+        )
+        alerted = {a.key for a in fired if a.key is not None}
+        if not alerted:
+            return
+        from repro.core.corrective import find_corrective_items
+
+        for corrective in find_corrective_items(result, k=16):
+            base_key = result.key_of(corrective.base)
+            if base_key in alerted:
+                self.store.attach_suggestions(
+                    base_key, [str(corrective.item)]
+                )
 
     def _mine_window(self, window: Window) -> WindowStats:
         """Materialize, mine and summarize one window."""
@@ -246,6 +300,17 @@ class DivergenceMonitor:
         """Divergence time series ``[(window_index, Δ), ...]`` of a key."""
         with self._lock:
             return list(self.series.get(frozenset(key), []))
+
+    def alerts_snapshot(self) -> list[DriftAlert]:
+        """Consistent copy of the alert log, taken under the lock.
+
+        Readers must use this instead of iterating :attr:`alerts`
+        directly: a concurrent ingest appends to the list mid-read, so
+        an unsynchronized serialization can see a length that no longer
+        matches the entries it walked.
+        """
+        with self._lock:
+            return list(self.alerts)
 
     def latest(self) -> WindowStats | None:
         """The most recently mined window, or ``None``."""

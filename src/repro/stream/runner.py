@@ -143,6 +143,7 @@ def replay(
     max_rows: int | None = None,
     monitor: DivergenceMonitor | None = None,
     n_workers: int | None = None,
+    store=None,
 ) -> ReplayReport:
     """Stream a dataset through a monitor in shuffled batches.
 
@@ -151,6 +152,9 @@ def replay(
     fast), ``seed`` fixes both the dataset load (for registry names)
     and the shuffle. A pre-configured ``monitor`` may be supplied;
     otherwise one is built from the mining/window/drift parameters.
+    ``store`` (a :class:`~repro.store.PatternStore`) makes the built
+    monitor journal every window durably; ignored when ``monitor`` is
+    supplied pre-configured.
     """
     if isinstance(data, str):
         data = load(data, seed=seed)
@@ -191,6 +195,7 @@ def replay(
             algorithm=algorithm,
             drift=drift,
             n_workers=n_workers,
+            store=store,
         ),
         n_rows=n,
         n_batches=0,

@@ -306,3 +306,91 @@ class TestCompareCommand:
             main(["compare", "--csv", duel_csv,
                   "--models", "pred_a,pred_b", "--support", "0"])
         assert err.value.code == 2
+
+
+class TestPatternsCommand:
+    @pytest.fixture
+    def store_path(self, tmp_path, capsys):
+        """A store populated by a short monitor replay."""
+        path = str(tmp_path / "patterns.jsonl")
+        code = main([
+            "monitor", "--dataset", "compas", "--window", "512",
+            "--max-rows", "1536", "--alert-delta", "0.05",
+            "--alert-t", "1.0", "--store", path,
+        ])
+        assert code == 0
+        assert "pattern store" in capsys.readouterr().out
+        return path
+
+    def test_list_and_paginate(self, store_path, capsys):
+        assert main(["patterns", "--store", store_path, "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern store" in out
+        assert "rerun with --offset 5" in out
+        assert main([
+            "patterns", "--store", store_path, "--limit", "5",
+            "--offset", "5",
+        ]) == 0
+        assert "showing 5..10" in capsys.readouterr().out
+
+    def test_ack_unack_cycle(self, store_path, capsys):
+        assert main([
+            "patterns", "--store", store_path, "--unacked", "--limit", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        key = out.splitlines()[3].split("|")[0].strip()
+        assert main([
+            "patterns", "--store", store_path, "--ack", key,
+            "--note", "triaged",
+        ]) == 0
+        assert "acknowledged" in capsys.readouterr().out
+        assert main([
+            "patterns", "--store", store_path, "--acked",
+        ]) == 0
+        assert key in capsys.readouterr().out
+        assert main([
+            "patterns", "--store", store_path, "--unack", key,
+        ]) == 0
+        assert "reopened" in capsys.readouterr().out
+        assert main(["patterns", "--store", store_path, "--acked"]) == 0
+        assert "no patterns match" in capsys.readouterr().out
+
+    def test_filters(self, store_path, capsys):
+        assert main([
+            "patterns", "--store", store_path,
+            "--min-divergence", "0.15",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matching of" in out
+
+    def test_compact(self, store_path, capsys):
+        assert main(["patterns", "--store", store_path, "--compact"]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(["patterns", "--store", store_path]) == 0
+
+    def test_missing_store_is_error(self, tmp_path, capsys):
+        assert main([
+            "patterns", "--store", str(tmp_path / "nope.jsonl"),
+        ]) == 1
+        assert "no pattern store" in capsys.readouterr().err
+
+    def test_bad_ack_key_is_error(self, store_path, capsys):
+        assert main([
+            "patterns", "--store", store_path, "--ack", "not-a-key",
+        ]) == 1
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_unknown_ack_key_is_error(self, store_path, capsys):
+        assert main([
+            "patterns", "--store", store_path, "--ack", "123456",
+        ]) == 1
+        assert "unknown pattern key" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [["--limit", "0"], ["--offset", "-1"], ["--min-divergence", "-2"]],
+    )
+    def test_bad_pagination_usage_error(self, store_path, flags):
+        with pytest.raises(SystemExit) as err:
+            main(["patterns", "--store", store_path, *flags])
+        assert err.value.code == 2

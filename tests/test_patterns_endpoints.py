@@ -1,0 +1,261 @@
+"""Tests for the durable pattern-store HTTP endpoints.
+
+Covers ``GET /api/patterns`` (filters, pagination, no-store fallback),
+``POST /api/patterns/ack`` (lifecycle, 400/404 paths) and the
+restart-survival acceptance flow: ingest batches that raise alerts,
+acknowledge one pattern, hard-stop the server, reopen the store under a
+fresh server and verify the ledger — ack state and divergence history
+included — comes back intact.
+"""
+
+import json
+import os
+import threading
+import urllib.request
+from urllib.error import HTTPError
+
+import numpy as np
+import pytest
+
+from repro.app.server import create_server
+from repro.datasets import load
+from repro.store import PatternStore
+
+
+def start_server(store_path=None):
+    server = create_server(port=0, seed=0, store_path=store_path)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"http://{host}:{port}"
+
+
+def get_json(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post_json(url: str, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def compas_batches():
+    data = load("compas", seed=0)
+    columns = {
+        name: data.table.categorical(name).values_as_objects()
+        for name in data.attributes
+    }
+    truth = data.truth_array()
+    pred = np.asarray(
+        data.table.categorical(data.pred_column).values_as_objects()
+    ).astype(bool)
+    rows = [
+        {name: str(columns[name][i]) for name in data.attributes}
+        for i in range(600)
+    ]
+    return rows, truth[:600].tolist(), pred[:600].tolist()
+
+
+def ingest_batches(url, compas_batches):
+    """Two 256-row windows with permissive thresholds so alerts fire."""
+    rows, truth, pred = compas_batches
+    config = (
+        "?reset=1&dataset=compas&metric=fpr&window=256&support=0.15"
+        "&alert_delta=0.02&alert_t=0.5"
+    )
+    for start, stop in ((0, 300), (300, 600)):
+        path = "/api/monitor/ingest" + (config if start == 0 else "")
+        status, data = post_json(
+            url + path,
+            {
+                "rows": rows[start:stop],
+                "truth": truth[start:stop],
+                "pred": pred[start:stop],
+            },
+        )
+        assert status == 200, data
+    return data
+
+
+class TestWithoutStore:
+    @pytest.fixture(scope="class")
+    def url(self):
+        server, url = start_server()
+        yield url
+        server.shutdown()
+        server.server_close()
+
+    def test_get_reports_store_disabled(self, url):
+        status, data = get_json(url + "/api/patterns")
+        assert status == 200
+        assert data == {"store": False, "total": 0, "patterns": []}
+
+    def test_ack_is_400(self, url):
+        status, data = post_json(
+            url + "/api/patterns/ack", {"items": [1]}
+        )
+        assert status == 400
+        assert "store" in data["error"]
+
+
+class TestPatternsEndpoint:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory, compas_batches):
+        store_path = str(tmp_path_factory.mktemp("store") / "patterns.jsonl")
+        server, url = start_server(store_path)
+        ingest_batches(url, compas_batches)
+        yield url, store_path
+        server.shutdown()
+        server.server_close()
+
+    def test_ledger_is_populated(self, served):
+        url, _ = served
+        status, data = get_json(url + "/api/patterns")
+        assert status == 200
+        assert data["store"] is True
+        assert data["total"] > 0
+        assert data["last_window"] == 1
+        entry = data["patterns"][0]
+        assert sorted(entry["key"]) == entry["key"]
+        assert entry["history"]
+        assert entry["windows_seen"] >= 1
+        alerted = [p for p in data["patterns"] if p["alerts"] > 0]
+        assert alerted, "permissive thresholds should alert some pattern"
+
+    def test_pagination_slices_consistently(self, served):
+        url, _ = served
+        _, full = get_json(url + "/api/patterns")
+        _, page = get_json(url + "/api/patterns?offset=2&limit=3")
+        assert page["total"] == full["total"]
+        assert page["patterns"] == full["patterns"][2:5]
+        assert page["offset"] == 2
+        assert page["limit"] == 3
+
+    def test_filters(self, served):
+        url, _ = served
+        _, strong = get_json(url + "/api/patterns?min_divergence=0.05")
+        assert all(
+            abs(p["divergence"]) >= 0.05 for p in strong["patterns"]
+        )
+        _, recent = get_json(url + "/api/patterns?since_window=1")
+        assert all(
+            p["last_seen_window"] >= 1 for p in recent["patterns"]
+        )
+        _, unacked = get_json(url + "/api/patterns?acked=false")
+        assert unacked["total"] > 0
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "?offset=-1",
+            "?offset=abc",
+            "?limit=0",
+            "?limit=x",
+            "?acked=maybe",
+            "?min_divergence=-1",
+            "?since_window=soon",
+        ],
+    )
+    def test_bad_params_are_400(self, served, query):
+        url, _ = served
+        status, data = get_json(url + "/api/patterns" + query)
+        assert status == 400, query
+        assert "error" in data
+
+    def test_ack_unknown_pattern_is_404(self, served):
+        url, _ = served
+        status, data = post_json(
+            url + "/api/patterns/ack", {"items": [123456]}
+        )
+        assert status == 404
+        assert "unknown pattern" in data["error"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            ["not", "an", "object"],
+            {"items": "1,2"},
+            {"items": ["x"]},
+            {"items": [1], "acked": "yes"},
+            {"items": [1], "note": 7},
+        ],
+    )
+    def test_bad_ack_bodies_are_400(self, served, payload):
+        url, _ = served
+        status, data = post_json(url + "/api/patterns/ack", payload)
+        assert status == 400, payload
+        assert "error" in data
+
+    def test_ack_round_trip(self, served):
+        url, _ = served
+        _, data = get_json(url + "/api/patterns?limit=1")
+        key = data["patterns"][0]["key"]
+        status, acked = post_json(
+            url + "/api/patterns/ack",
+            {"items": key, "note": "triaged"},
+        )
+        assert status == 200
+        assert acked["acked"] is True
+        assert acked["pattern"]["ack_note"] == "triaged"
+        _, filtered = get_json(url + "/api/patterns?acked=true")
+        assert key in [p["key"] for p in filtered["patterns"]]
+        status, reopened = post_json(
+            url + "/api/patterns/ack", {"items": key, "acked": False}
+        )
+        assert status == 200
+        assert reopened["pattern"]["acked"] is False
+
+
+class TestRestartSurvival:
+    def test_ledger_survives_hard_stop(
+        self, tmp_path, compas_batches
+    ):
+        """The ISSUE acceptance flow: ingest alert-raising batches, ack
+        one pattern, hard-stop the process' server (no orderly store
+        close), reopen on the same path and compare ledgers."""
+        store_path = str(tmp_path / "patterns.jsonl")
+        first, url = start_server(store_path)
+        ingest_batches(url, compas_batches)
+        _, before = get_json(url + "/api/patterns")
+        assert before["total"] > 0
+        key = before["patterns"][0]["key"]
+        status, _ = post_json(
+            url + "/api/patterns/ack", {"items": key, "note": "seen"}
+        )
+        assert status == 200
+        _, before = get_json(url + "/api/patterns")
+        # hard stop: kill the accept loop, never close the store handle
+        first.shutdown()
+
+        second, url2 = start_server(store_path)
+        try:
+            _, after = get_json(url2 + "/api/patterns")
+            assert after == before
+            acked = [p for p in after["patterns"] if p["acked"]]
+            assert [p["key"] for p in acked] == [key]
+            assert acked[0]["ack_note"] == "seen"
+            assert all(p["history"] for p in after["patterns"])
+        finally:
+            second.shutdown()
+            second.server_close()
+            first.server_close()
+
+        # compaction keeps the log bounded and queries bit-identical
+        with PatternStore(store_path) as store:
+            assert store.recovered_dropped == 0
+            before_compact = store.query()
+            store.compact()
+            assert store.query() == before_compact
+            live = store._live_bytes()
+        assert os.path.getsize(store_path) <= 2 * live

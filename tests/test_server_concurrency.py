@@ -14,9 +14,11 @@ import threading
 import urllib.parse
 import urllib.request
 
+import numpy as np
 import pytest
 
 from repro.app.server import AppState, _json_safe, _sanitize, create_server
+from repro.datasets import load
 from repro.fpm.cache import MiningCache
 from tests.conftest import make_random_dataset
 
@@ -193,6 +195,100 @@ class TestConcurrentServing:
             assert explore[percentile] is not None
         # Status-code counters.
         assert counters.get("http./api/explore.status.200", 0) >= 1
+
+    def test_concurrent_ingest_and_alert_reads(self, hammer_server_url):
+        """Regression for the unsynchronized alert-log read.
+
+        ``_handle_monitor_alerts`` used to iterate ``monitor.alerts``
+        while concurrent ingests appended to it, so a response could
+        pair a ``next`` cursor with an alert list from a different
+        moment. Hammer ingest and alert reads together and assert every
+        response is internally consistent (``next == total`` for the
+        default, unpaginated query) and strict JSON.
+        """
+        data = load("compas", seed=0)
+        columns = {
+            name: data.table.categorical(name).values_as_objects()
+            for name in data.attributes
+        }
+        truth = data.truth_array()
+        pred = np.asarray(
+            data.table.categorical(data.pred_column).values_as_objects()
+        ).astype(bool)
+        rows = [
+            {name: str(columns[name][i]) for name in data.attributes}
+            for i in range(512)
+        ]
+
+        def ingest(start, stop, config=""):
+            payload = {
+                "rows": rows[start:stop],
+                "truth": truth[start:stop].tolist(),
+                "pred": pred[start:stop].tolist(),
+            }
+            request = urllib.request.Request(
+                hammer_server_url + "/api/monitor/ingest" + config,
+                data=json.dumps(payload).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return strict_json(response.read())
+
+        # create the session with permissive thresholds so the writers
+        # below keep firing alerts while the readers iterate the log
+        ingest(
+            0,
+            64,
+            "?reset=1&window=64&support=0.2&alert_delta=0.01&alert_t=0.2",
+        )
+        failures = []
+        done = threading.Event()
+
+        def writer(offset: int) -> None:
+            try:
+                for i in range(12):
+                    start = ((offset + i) * 32) % 480
+                    ingest(start, start + 32)
+            except Exception as exc:
+                failures.append(("ingest", repr(exc)))
+
+        def reader() -> None:
+            queries = ("", "?offset=1&limit=5", "?since=2")
+            i = 0
+            try:
+                while not done.is_set():
+                    query = queries[i % len(queries)]
+                    i += 1
+                    with urllib.request.urlopen(
+                        hammer_server_url + "/api/monitor/alerts" + query,
+                        timeout=60,
+                    ) as response:
+                        payload = strict_json(response.read())
+                    assert "error" not in payload, payload
+                    if not payload["active"]:
+                        continue
+                    if query == "":
+                        assert payload["next"] == payload["total"]
+                        assert len(payload["alerts"]) == payload["total"]
+                    elif query.startswith("?offset"):
+                        assert len(payload["alerts"]) <= 5
+                    for alert in payload["alerts"]:
+                        assert "seq" in alert and "kind" in alert
+            except Exception as exc:
+                failures.append(("alerts", repr(exc)))
+
+        writers = [
+            threading.Thread(target=writer, args=(t,)) for t in range(4)
+        ]
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        done.set()
+        for t in readers:
+            t.join()
+        assert not failures, failures[:5]
 
     def test_concurrent_app_state_entry_race(self):
         """Direct AppState hammering (no HTTP): one result per key."""

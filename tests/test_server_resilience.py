@@ -15,7 +15,7 @@ import urllib.request
 
 import pytest
 
-from repro.app.server import create_server
+from repro.app.server import create_server, retry_after_hint
 from repro.resilience import inject_fault
 from tests.test_server_concurrency import strict_json
 
@@ -141,6 +141,8 @@ class TestTimeout:
             )
         assert status == 503
         assert payload["cancelled"] is True
+        # the slot was released before the 503 went out, and the
+        # request carried no deadline: the hint bottoms out at 1s
         assert headers["Retry-After"] == "1"
 
 
@@ -191,7 +193,12 @@ class TestShedding:
             )
             assert status == 503
             assert payload["shed"] is True
-            assert headers["Retry-After"] == "1"
+            # every slot is busy: the computed hint reflects full load
+            # instead of the old hard-coded "1"
+            assert headers["Retry-After"] == retry_after_hint(
+                MAX_CONCURRENT, MAX_CONCURRENT, None
+            )
+            assert int(headers["Retry-After"]) == 2
         finally:
             for _ in range(MAX_CONCURRENT):
                 state.admission.release()
@@ -215,6 +222,45 @@ class TestShedding:
         )
         assert status == 200
         assert payload["patterns"]
+
+    def test_shed_hint_scales_with_request_deadline(self, server, base_url):
+        """A shed caller with a long deadline budget is told to back off
+        longer than one with none."""
+        state = server.app_state
+        for _ in range(MAX_CONCURRENT):
+            assert state.admission.acquire(blocking=False)
+        try:
+            status, _, headers = fetch(
+                base_url
+                + "/api/explore?dataset=compas&support=0.25&deadline=8"
+            )
+            assert status == 503
+            assert headers["Retry-After"] == "12"  # ceil(8 * 1.5)
+        finally:
+            for _ in range(MAX_CONCURRENT):
+                state.admission.release()
+
+
+class TestRetryAfterHint:
+    def test_idle_no_deadline_is_historical_one(self):
+        assert retry_after_hint(0, 8, None) == "1"
+
+    def test_monotone_in_load(self):
+        hints = [int(retry_after_hint(busy, 8, 10.0)) for busy in range(9)]
+        assert hints == sorted(hints)
+        assert hints[0] < hints[-1]
+
+    def test_scales_with_deadline(self):
+        assert int(retry_after_hint(4, 8, 2.0)) < int(
+            retry_after_hint(4, 8, 20.0)
+        )
+
+    def test_clamped_to_bounds(self):
+        assert retry_after_hint(8, 8, 1000.0) == "30"
+        assert retry_after_hint(0, 8, 0.001) == "1"
+
+    def test_zero_capacity_reads_as_full(self):
+        assert retry_after_hint(0, 0, None) == "2"  # ceil(1.0 * 1.5)
 
 
 class TestResilienceMetrics:

@@ -1,0 +1,342 @@
+"""Tests for the durable pattern store (log framing, lifecycle, query,
+compaction) and the shared pagination validators."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.params import validate_limit, validate_offset
+from repro.store import (
+    PatternStore,
+    canonical_key,
+    decode_frame,
+    encode_frame,
+    read_frames,
+)
+from repro.stream.drift import DriftAlert
+
+
+def shift_alert(key, window=1, delta=0.2, t=4.0):
+    return DriftAlert(
+        kind="divergence_shift",
+        window_index=window,
+        itemset="a=1",
+        key=frozenset(key),
+        delta=delta,
+        t_statistic=t,
+    )
+
+
+def window_rows(spec):
+    """``{key: (divergence, support, t)}`` -> record_window rows."""
+    return [
+        (key, f"pattern{sorted(key)}", div, sup, t)
+        for key, (div, sup, t) in spec.items()
+    ]
+
+
+class TestFraming:
+    def test_round_trip(self):
+        record = {"kind": "window", "window": 3, "rows": [[1, 2], "x"]}
+        assert decode_frame(encode_frame(record).rstrip(b"\n")) == record
+
+    def test_crc_mismatch_is_rejected(self):
+        line = encode_frame({"kind": "meta"}).rstrip(b"\n")
+        damaged = line[:-3] + b"xyz"
+        assert decode_frame(damaged) is None
+
+    def test_short_and_malformed_lines_are_rejected(self):
+        assert decode_frame(b"") is None
+        assert decode_frame(b"0abc") is None
+        assert decode_frame(b"zzzzzzzz {}") is None
+        # valid checksum over a non-object payload
+        import zlib
+
+        payload = b"[1,2,3]"
+        crc = b"%08x " % (zlib.crc32(payload) & 0xFFFFFFFF,)
+        assert decode_frame(crc + payload) is None
+
+    def test_read_frames_missing_file(self, tmp_path):
+        records, good, dropped = read_frames(str(tmp_path / "nope.jsonl"))
+        assert (records, good, dropped) == ([], 0, 0)
+
+    def test_non_finite_values_are_unrepresentable(self):
+        with pytest.raises(ValueError):
+            encode_frame({"divergence": float("nan")})
+
+
+class TestCanonicalKey:
+    def test_sorts_and_coerces(self):
+        assert canonical_key([3, 1, 2]) == (1, 2, 3)
+        assert canonical_key(frozenset({9, 4})) == (4, 9)
+        assert canonical_key(()) == ()
+
+
+class TestLifecycle:
+    def test_record_window_creates_entries(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(
+                0,
+                window_rows({(1, 2): (0.3, 0.2, 2.5), (3,): (-0.1, 0.5, 1.0)}),
+                ts=100.0,
+            )
+            assert len(store) == 2
+            entry = store.entry([2, 1])
+            assert entry["itemset"] == "pattern[1, 2]"
+            assert entry["divergence"] == pytest.approx(0.3)
+            assert entry["windows_seen"] == 1
+            assert entry["history"] == [[0, 0.3, 0.2, 2.5]]
+            assert entry["first_seen_ts"] == 100.0
+
+    def test_history_and_max_divergence_accumulate(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            for w, div in enumerate([0.1, -0.4, 0.2]):
+                store.record_window(
+                    w, window_rows({(7,): (div, 0.3, 1.0)}), ts=float(w)
+                )
+            entry = store.entry([7])
+            assert entry["windows_seen"] == 3
+            assert entry["divergence"] == pytest.approx(0.2)
+            assert entry["max_abs_divergence"] == pytest.approx(0.4)
+            assert [p[0] for p in entry["history"]] == [0, 1, 2]
+
+    def test_nan_divergence_becomes_none(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(
+                0,
+                window_rows({(5,): (float("nan"), 0.2, float("inf"))}),
+            )
+            entry = store.entry([5])
+            assert entry["divergence"] is None
+            assert entry["t"] is None
+            assert entry["max_abs_divergence"] == 0.0
+
+    def test_reappearance_counts_absence_gaps(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(0, window_rows({(1,): (0.1, 0.2, 1.0)}))
+            store.record_window(1, window_rows({(2,): (0.1, 0.2, 1.0)}))
+            store.record_window(
+                2, window_rows({(1,): (0.1, 0.2, 1.0), (2,): (0.1, 0.2, 1.0)})
+            )
+            assert store.entry([1])["reappearances"] == 1
+            assert store.entry([2])["reappearances"] == 0
+
+    def test_alerts_count_against_patterns(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(
+                0,
+                window_rows({(1, 2): (0.3, 0.2, 2.5)}),
+                alerts=[shift_alert({1, 2}, window=0)],
+            )
+            entry = store.entry([1, 2])
+            assert entry["alerts"] == 1
+            assert entry["last_alert_window"] == 0
+
+    def test_window_level_alerts_have_no_key(self, tmp_path):
+        churn = DriftAlert(kind="rank_churn", window_index=1, churn=0.8)
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(
+                1, window_rows({(1,): (0.1, 0.2, 1.0)}), alerts=[churn]
+            )
+            assert store.entry([1])["alerts"] == 0
+
+
+class TestAckLifecycle:
+    def test_ack_and_unack(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(0, window_rows({(1,): (0.1, 0.2, 1.0)}))
+            entry = store.ack([1], note="looked at it", ts=50.0)
+            assert entry["acked"] is True
+            assert entry["acked_ts"] == 50.0
+            assert entry["ack_note"] == "looked at it"
+            entry = store.ack([1], acked=False)
+            assert entry["acked"] is False
+            assert entry["acked_ts"] is None
+            assert entry["ack_note"] is None
+
+    def test_ack_unknown_key_raises(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            with pytest.raises(ReproError, match="unknown pattern key"):
+                store.ack([99])
+
+    def test_fresh_alert_reopens_acked_pattern(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(0, window_rows({(1,): (0.1, 0.2, 1.0)}))
+            store.ack([1])
+            store.record_window(
+                1,
+                window_rows({(1,): (0.4, 0.2, 5.0)}),
+                alerts=[shift_alert({1})],
+            )
+            entry = store.entry([1])
+            assert entry["acked"] is False
+            assert entry["reopened"] == 1
+
+    def test_alert_free_recurrence_keeps_ack(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.record_window(0, window_rows({(1,): (0.1, 0.2, 1.0)}))
+            store.ack([1])
+            store.record_window(1, window_rows({(1,): (0.1, 0.2, 1.0)}))
+            assert store.entry([1])["acked"] is True
+
+
+class TestSuggestions:
+    def test_attach_and_dedupe(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        with PatternStore(path) as store:
+            store.record_window(0, window_rows({(1,): (0.1, 0.2, 1.0)}))
+            store.attach_suggestions([1], ["age=old"])
+            size = store.stats()["bytes"]
+            # a fully-duplicate suggestion set appends nothing
+            store.attach_suggestions([1], ["age=old"])
+            assert store.stats()["bytes"] == size
+            store.attach_suggestions([1], ["age=old", "sex=F"])
+            assert store.entry([1])["suggestions"] == ["age=old", "sex=F"]
+
+    def test_unknown_key_is_ignored(self, tmp_path):
+        with PatternStore(str(tmp_path / "s.jsonl")) as store:
+            store.attach_suggestions([42], ["x=1"])
+            assert len(store) == 0
+
+
+class TestQuery:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        with PatternStore(str(tmp_path / "q.jsonl")) as store:
+            store.record_window(
+                0,
+                window_rows(
+                    {
+                        (1,): (0.5, 0.3, 4.0),
+                        (2,): (0.1, 0.4, 1.0),
+                        (3,): (-0.3, 0.2, 2.0),
+                    }
+                ),
+            )
+            store.record_window(
+                1, window_rows({(1,): (0.2, 0.3, 2.0), (4,): (0.6, 0.1, 5.0)})
+            )
+            store.ack([2])
+            yield store
+
+    def test_ordering_recent_then_magnitude(self, store):
+        keys = [tuple(p["key"]) for p in store.query()["patterns"]]
+        # window 1 patterns first (|0.6| before |0.2|), then window 0
+        assert keys == [(4,), (1,), (3,), (2,)]
+
+    def test_pagination(self, store):
+        full = store.query()
+        assert full["total"] == 4
+        page = store.query(offset=1, limit=2)
+        assert page["total"] == 4
+        assert [tuple(p["key"]) for p in page["patterns"]] == [(1,), (3,)]
+        beyond = store.query(offset=10)
+        assert beyond["patterns"] == []
+
+    def test_filters(self, store):
+        acked = store.query(acked=True)
+        assert [tuple(p["key"]) for p in acked["patterns"]] == [(2,)]
+        unacked = store.query(acked=False)
+        assert len(unacked["patterns"]) == 3
+        strong = store.query(min_divergence=0.25)
+        assert [tuple(p["key"]) for p in strong["patterns"]] == [(4,), (3,)]
+        recent = store.query(since_window=1)
+        assert [tuple(p["key"]) for p in recent["patterns"]] == [(4,), (1,)]
+
+    def test_query_copies_do_not_alias_store(self, store):
+        payload = store.query(limit=1)
+        payload["patterns"][0]["history"].append("junk")
+        payload["patterns"][0]["suggestions"].append("junk")
+        entry = store.entry(payload["patterns"][0]["key"])
+        assert "junk" not in entry["suggestions"]
+        assert "junk" not in entry["history"]
+
+
+class TestCompaction:
+    def test_explicit_compact_preserves_queries(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with PatternStore(path) as store:
+            for w in range(5):
+                store.record_window(
+                    w,
+                    window_rows({(1,): (0.1 * w, 0.3, 1.0), (2,): (0.2, 0.4, 2.0)}),
+                    ts=float(w),
+                )
+            store.ack([2], note="seen")
+            store.attach_suggestions([1], ["x=1"])
+            before = store.query()
+            assert store.compact() is True
+            assert store.query() == before
+        # and the compacted file replays to the same state
+        with PatternStore(path) as reopened:
+            assert reopened.query() == before
+
+    def test_compacted_log_is_one_record_per_pattern(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with PatternStore(path) as store:
+            for w in range(4):
+                store.record_window(w, window_rows({(1,): (0.1, 0.3, 1.0)}))
+            store.compact()
+        records, _, dropped = read_frames(path)
+        assert dropped == 0
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["meta", "snapshot"]
+        assert records[0]["last_window"] == 3
+
+    def test_auto_compaction_triggers_and_bounds_log(self, tmp_path):
+        path = str(tmp_path / "auto.jsonl")
+        with PatternStore(
+            path, fsync=False, compact_min_bytes=512, compact_ratio=1.5
+        ) as store:
+            for w in range(300):
+                store.record_window(w, window_rows({(1,): (0.1, 0.3, 1.0)}))
+            assert store.compactions > 0
+            live = store._live_bytes()
+            assert store.stats()["bytes"] <= max(512, 2.0 * live)
+
+    def test_bad_ratio_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="compact_ratio"):
+            PatternStore(str(tmp_path / "x.jsonl"), compact_ratio=1.0)
+
+
+class TestForwardCompat:
+    def test_unknown_record_kinds_are_skipped(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        with PatternStore(str(path)) as store:
+            store.record_window(0, window_rows({(1,): (0.1, 0.2, 1.0)}))
+        with open(path, "ab") as fh:
+            fh.write(encode_frame({"kind": "hologram", "data": 42}))
+        with PatternStore(str(path)) as store:
+            assert len(store) == 1
+            assert store.recovered_dropped == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "v.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(encode_frame({"kind": "meta", "version": 99}))
+        with pytest.raises(ReproError, match="version"):
+            PatternStore(str(path))
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="directory"):
+            PatternStore(str(tmp_path / "missing" / "s.jsonl"))
+
+
+class TestPaginationValidators:
+    def test_offset(self):
+        assert validate_offset(None) == 0
+        assert validate_offset("7") == 7
+        assert validate_offset(0) == 0
+        for bad in ("-1", "1.5", "abc", -3):
+            with pytest.raises(ReproError):
+                validate_offset(bad)
+
+    def test_limit(self):
+        assert validate_limit(None) is None
+        assert validate_limit("5") == 5
+        assert validate_limit(1) == 1
+        for bad in ("0", "-2", "2.5", "lots", 0):
+            with pytest.raises(ReproError):
+                validate_limit(bad)

@@ -1,0 +1,199 @@
+"""Crash-recovery tests: kill the store mid-append and reopen.
+
+A hard stop (``kill -9``, power loss) can leave the log with a torn
+tail — an unterminated line, a truncated payload, or a frame whose CRC
+no longer matches. Recovery must drop exactly the torn record, keep
+every record before it (including acknowledgement state), truncate the
+file back to the good prefix, and keep accepting appends; compaction
+must round-trip the recovered state bit-identically.
+"""
+
+import os
+
+import pytest
+
+from repro.store import PatternStore, encode_frame, read_frames
+from repro.stream.drift import DriftAlert
+
+
+def build_store(path, windows=3):
+    """A store with `windows` appended windows, an ack and a suggestion."""
+    with PatternStore(str(path), fsync=False) as store:
+        for w in range(windows):
+            store.record_window(
+                w,
+                [
+                    ((1, 2), "a=1, b=2", 0.1 * (w + 1), 0.3, 2.0),
+                    ((3,), "c=3", -0.2, 0.5, 1.5),
+                ],
+                alerts=(
+                    [
+                        DriftAlert(
+                            kind="divergence_shift",
+                            window_index=w,
+                            itemset="a=1, b=2",
+                            key=frozenset({1, 2}),
+                            delta=0.3,
+                            t_statistic=4.0,
+                        )
+                    ]
+                    if w == 1
+                    else ()
+                ),
+                ts=float(w),
+            )
+        store.ack([3], note="benign", ts=99.0)
+        store.attach_suggestions([1, 2], ["c=3"])
+        return store.query()
+
+
+def last_frame_span(path):
+    """(start, end) byte offsets of the final frame in the log."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    start = raw.rstrip(b"\n").rfind(b"\n") + 1
+    return start, len(raw)
+
+
+class TestTornTail:
+    @pytest.mark.parametrize("keep", [0, 1, 9, -1])
+    def test_truncated_final_frame_is_dropped(self, tmp_path, keep):
+        """Cut the last frame at several points: mid-CRC, mid-payload,
+        just before the newline. Recovery keeps everything before it."""
+        path = tmp_path / "s.jsonl"
+        build_store(path)
+        start, end = last_frame_span(path)
+        with open(path, "rb+") as fh:
+            fh.truncate(start + keep if keep >= 0 else end - 1)
+        with PatternStore(str(path)) as store:
+            assert store.recovered_dropped == (1 if keep != 0 else 0)
+            # the torn record was the suggestion append; the ack before
+            # it survives
+            assert store.entry([3])["acked"] is True
+            assert store.entry([3])["ack_note"] == "benign"
+            assert store.entry([1, 2])["suggestions"] == []
+            assert len(store) == 2
+
+    def test_corrupt_crc_mid_frame(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        build_store(path)
+        start, _ = last_frame_span(path)
+        with open(path, "rb+") as fh:
+            fh.seek(start + 2)
+            fh.write(b"zz")  # clobber the checksum field
+        with PatternStore(str(path)) as store:
+            assert store.recovered_dropped == 1
+            assert store.entry([3])["acked"] is True
+
+    def test_flipped_payload_byte_fails_checksum(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        build_store(path)
+        start, end = last_frame_span(path)
+        with open(path, "rb+") as fh:
+            fh.seek(end - 3)
+            original = fh.read(1)
+            fh.seek(end - 3)
+            fh.write(bytes([original[0] ^ 0xFF]))
+        with PatternStore(str(path)) as store:
+            assert store.recovered_dropped == 1
+
+    def test_reopen_truncates_and_appends_cleanly(self, tmp_path):
+        """After recovery the torn bytes are gone from disk and new
+        appends replay without any drops."""
+        path = tmp_path / "s.jsonl"
+        build_store(path)
+        start, _ = last_frame_span(path)
+        with open(path, "rb+") as fh:
+            fh.truncate(start + 5)
+        with PatternStore(str(path)) as store:
+            store.record_window(3, [((9,), "z=9", 0.4, 0.2, 3.0)])
+            state = store.query()
+        _, good, dropped = read_frames(str(path))
+        assert dropped == 0
+        assert good == os.path.getsize(path)
+        with PatternStore(str(path)) as reopened:
+            assert reopened.recovered_dropped == 0
+            assert reopened.query() == state
+
+    def test_mid_log_damage_drops_suffix(self, tmp_path):
+        """Damage to an interior frame abandons everything after it —
+        frames are ordered, so nothing behind a bad one is trusted."""
+        path = tmp_path / "s.jsonl"
+        build_store(path)
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        lines[1] = b"00000000 " + lines[1][9:]  # break frame 1's CRC
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        with PatternStore(str(path)) as store:
+            assert store.recovered_dropped == len(lines) - 1
+            # only window 0 survives: state rolled back to frame 0
+            assert store.entry([1, 2])["windows_seen"] == 1
+            assert store.entry([3])["acked"] is False
+
+
+class TestRestartSurvival:
+    def test_state_identical_across_reopen_cycles(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        expected = build_store(path, windows=4)
+        for _ in range(3):
+            with PatternStore(str(path)) as store:
+                assert store.recovered_dropped == 0
+                assert store.query() == expected
+
+    def test_compaction_round_trips_bit_identically(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        expected = build_store(path, windows=4)
+        with PatternStore(str(path)) as store:
+            assert store.compact() is True
+            assert store.query() == expected
+            compact_state = store.query()
+        with open(path, "rb") as fh:
+            compacted_bytes = fh.read()
+        with PatternStore(str(path)) as reopened:
+            assert reopened.query() == compact_state == expected
+        # reopening a compacted log without appends leaves it untouched
+        with open(path, "rb") as fh:
+            assert fh.read() == compacted_bytes
+
+    def test_crash_during_compaction_leaves_original(self, tmp_path):
+        """A compaction abandoned before the atomic rename (simulated by
+        a leftover tmp file) must not affect recovery."""
+        path = tmp_path / "s.jsonl"
+        expected = build_store(path)
+        tmp = str(path) + ".compact.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(encode_frame({"kind": "meta", "version": 1}))
+            fh.write(b"\x00\x01torn")
+        with PatternStore(str(path)) as store:
+            assert store.query() == expected
+
+    def test_interrupted_compaction_write_keeps_log(self, tmp_path):
+        """An exception mid-rewrite discards the tmp file and leaves the
+        original log byte-identical."""
+        path = tmp_path / "s.jsonl"
+        build_store(path)
+        with open(path, "rb") as fh:
+            original = fh.read()
+        class ExplodingDict(dict):
+            def values(self):
+                entries = list(super().values())
+
+                def generate():
+                    yield entries[0]
+                    raise KeyboardInterrupt
+
+                return generate()
+
+        store = PatternStore(str(path))
+        try:
+            store._entries = ExplodingDict(store._entries)
+            with pytest.raises(KeyboardInterrupt):
+                store.compact()
+        finally:
+            store.close()
+        assert not os.path.exists(str(path) + ".compact.tmp")
+        with open(path, "rb") as fh:
+            assert fh.read() == original
+        with PatternStore(str(path)) as reopened:
+            assert reopened.recovered_dropped == 0

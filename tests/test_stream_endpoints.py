@@ -130,6 +130,18 @@ class TestMonitorLifecycle:
         assert tail["alerts"] == []
         assert tail["next"] == cursor
 
+    def test_alerts_offset_limit_slice_consistently(self, server_url):
+        status, full = get_json(server_url + "/api/monitor/alerts")
+        assert status == 200
+        assert full["total"] == len(full["alerts"])
+        status, page = get_json(
+            server_url + "/api/monitor/alerts?offset=1&limit=2"
+        )
+        assert status == 200
+        assert page["alerts"] == full["alerts"][1:3]
+        assert page["total"] == full["total"]
+        assert page["next"] == full["next"]
+
     def test_reset_discards_session(self, server_url, compas_batches):
         status, data = post_json(
             server_url + "/api/monitor/ingest?reset=1&window=128",
@@ -198,3 +210,13 @@ class TestMonitorValidation:
         )
         assert status == 400
         assert "since" in data["error"]
+
+    @pytest.mark.parametrize(
+        "query", ["offset=-1", "offset=1.5", "limit=0", "limit=many"]
+    )
+    def test_invalid_pagination_is_400(self, server_url, query):
+        status, data = get_json(
+            server_url + f"/api/monitor/alerts?{query}"
+        )
+        assert status == 400, query
+        assert "error" in data
