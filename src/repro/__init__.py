@@ -48,6 +48,7 @@ from repro.core.lattice_index import LatticeIndex
 from repro.core.outcomes import OUTCOME_METRICS, outcome_metric
 from repro.core.pruning import prune_redundant
 from repro.core.result import PatternDivergenceResult, PatternRecord
+from repro.rank import RankDivergenceExplorer, RankDivergenceResult
 from repro.core.shapley import shapley_batch, shapley_contributions
 from repro.exceptions import ReproError
 from repro.stream import (
@@ -82,6 +83,8 @@ __all__ = [
     "OUTCOME_METRICS",
     "PatternDivergenceResult",
     "PatternRecord",
+    "RankDivergenceExplorer",
+    "RankDivergenceResult",
     "ReproError",
     "StreamBuffer",
     "Table",

@@ -14,6 +14,11 @@ Endpoints (all GET, JSON responses):
   (see ``docs/compare.md``): ``models`` is a comma-separated list of
   prediction columns and/or ``classifier:<name>`` specs, mined once
   and compared pairwise against the baseline
+- ``/api/rank``       params: ``dataset, weight_model?, support?, rank_k?,
+  top?, workers?`` — exposure/rank divergence of the dataset's ranking
+  score over all frequent subgroups (see ``docs/ranking.md``); weight
+  models: ``exposure`` (default), ``topk`` (needs ``rank_k``),
+  ``reciprocal_rank``, ``score``
 - ``/api/metrics``    process metrics: cache counters, span timings,
   per-endpoint request counts/status/latency percentiles
 - ``/``               minimal HTML page that calls the API
@@ -114,10 +119,12 @@ from repro.params import (
     validate_min_t,
     validate_models,
     validate_offset,
+    validate_rank_k,
     validate_sample,
     validate_step,
     validate_support,
     validate_top,
+    validate_weight_model,
     validate_window,
     validate_workers,
 )
@@ -251,7 +258,14 @@ class AppState:
         self._compare_cache: OrderedDict[tuple, "CompareResult"] = (
             OrderedDict()
         )
+        # Rank-divergence results get their own LRU for the same reason
+        # — a RankDivergenceResult is keyed by weight model, not metric,
+        # and cannot substitute for an /api/explore answer.
+        self._rank_cache: OrderedDict[tuple, "RankDivergenceResult"] = (
+            OrderedDict()
+        )
         self._explorers: dict[str, DivergenceExplorer] = {}
+        self._rank_explorers: dict[str, "RankDivergenceExplorer"] = {}
         self._lock = threading.Lock()
         # Streaming monitor session: one DivergenceMonitor shared by
         # /api/monitor/*, created lazily on first ingest. The session
@@ -464,6 +478,82 @@ class AppState:
                 len(self._compare_cache)
             )
             return comparison
+
+    def rank_explorer(self, dataset: str) -> "RankDivergenceExplorer":
+        """Load (and cache) the rank explorer for a bundled dataset.
+
+        Upload handles are rejected: uploads are discretized at
+        registration, so their score column is already binned away —
+        rank analysis needs the raw continuous scores (use the CLI on
+        the original CSV instead). Scores come from the dataset's
+        continuous ``score`` column when it has one, otherwise from a
+        logistic model's ``predict_proba`` (trained deterministically
+        from the server seed, so cached results answer repeats exactly).
+        """
+        from repro.rank import RankDivergenceExplorer, dataset_scores
+
+        with self._lock:
+            explorer = self._rank_explorers.get(dataset)
+            if explorer is not None:
+                return explorer
+        if dataset.startswith("upload:"):
+            raise ReproError(
+                "rank analysis is not available for uploads (their "
+                "continuous columns are discretized at registration); "
+                "use a bundled dataset"
+            )
+        data = load(dataset, seed=self.seed)
+        if "score" in data.table and data.table.column("score").is_continuous:
+            scores = data.table.continuous("score").values
+        else:
+            scores = dataset_scores(data, classifier="logistic", seed=self.seed)
+        explorer = RankDivergenceExplorer(
+            data.table, scores, attributes=data.attributes
+        )
+        with self._lock:
+            self._rank_explorers.setdefault(dataset, explorer)
+            return self._rank_explorers[dataset]
+
+    def rank_result(
+        self,
+        dataset: str,
+        weight_model: str,
+        support: float,
+        topk: int | None = None,
+        workers: int | None = None,
+    ) -> "RankDivergenceResult":
+        """LRU-cached rank-divergence table for one configuration.
+
+        ``workers`` stays out of the key for the same reason as in
+        :meth:`_entry`: sharded and serial mining are bit-identical.
+        """
+        key = (dataset, weight_model, support, topk)
+        registry = get_registry()
+        with self._lock:
+            result = self._rank_cache.get(key)
+            if result is not None:
+                self._rank_cache.move_to_end(key)
+                registry.counter("rank.cache_hits").inc()
+                return result
+        registry.counter("rank.cache_misses").inc()
+        result = self.rank_explorer(dataset).explore(
+            weight_model=weight_model,
+            min_support=support,
+            topk=topk,
+            n_workers=workers if workers is not None else self.default_workers,
+        )
+        with self._lock:
+            raced = self._rank_cache.get(key)
+            if raced is not None:
+                result = raced
+            else:
+                self._rank_cache[key] = result
+            self._rank_cache.move_to_end(key)
+            while len(self._rank_cache) > self.max_results:
+                self._rank_cache.popitem(last=False)
+                registry.counter("rank.cache_evictions").inc()
+            registry.gauge("rank.cache_entries").set(len(self._rank_cache))
+            return result
 
     def coarser_support(
         self, dataset: str, metric: str, support: float
@@ -833,6 +923,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/api/datasets",
             "/api/explore",
             "/api/compare",
+            "/api/rank",
             "/api/shapley",
             "/api/explain",
             "/api/global",
@@ -932,6 +1023,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(self._explore(params))
         elif path == "/api/compare":
             self._send_json(self._compare(params))
+        elif path == "/api/rank":
+            self._send_json(self._rank(params))
         elif path == "/api/shapley":
             self._send_json(self._shapley(params))
         elif path == "/api/explain":
@@ -1307,6 +1400,43 @@ class _Handler(BaseHTTPRequestHandler):
                 for name, rate in comparison.global_rates.items()
             },
             "comparisons": models,
+        }
+
+    def _rank(self, params: dict[str, str]) -> dict:
+        dataset = params.get("dataset", "ranking")
+        if dataset not in DATASET_NAMES and not dataset.startswith("upload:"):
+            raise ReproError(f"unknown dataset {dataset!r}")
+        weight_model = validate_weight_model(
+            params.get("weight_model", "exposure")
+        )
+        support = validate_support(params.get("support", "0.1"))
+        topk = validate_rank_k(params.get("rank_k"))
+        if weight_model == "topk" and topk is None:
+            raise ReproError("weight_model=topk requires rank_k")
+        top = validate_top(params.get("top", "10"))
+        result = self._state.rank_result(
+            dataset, weight_model, support, topk=topk,
+            workers=self._workers(params),
+        )
+        rows = [
+            {
+                "itemset": str(r.itemset),
+                "support": _json_safe(r.support),
+                "mean": _json_safe(r.mean),
+                "divergence": _json_safe(r.divergence),
+                "t": _json_safe(r.t_statistic),
+            }
+            for r in result.top_k(top, by="abs_divergence")
+        ]
+        return {
+            "dataset": dataset,
+            "weight_model": weight_model,
+            "metric": result.metric,
+            "support": support,
+            "rank_k": topk,
+            "global_mean": _json_safe(result.global_rate),
+            "n_patterns": len(result) - 1,
+            "patterns": rows,
         }
 
     def _explore_sampled(
@@ -1769,6 +1899,9 @@ def create_server(
         "compare.models_compared",
         "compare.cache_hits",
         "compare.cache_misses",
+        "rank.explorations",
+        "rank.cache_hits",
+        "rank.cache_misses",
         "store.appends",
         "store.windows",
         "store.alerts",

@@ -11,6 +11,10 @@ Subcommands cover the full analysis surface:
 - ``lattice``    — render the subset lattice of a pattern (text or DOT)
 - ``report``     — full markdown audit report
 - ``study``      — run the simulated bias-injection user study
+- ``rank``       — exposure/rank divergence of a ranking score over
+  all subgroups (weight models: exposure, topk, reciprocal_rank,
+  score); scores come from a continuous column or a trained
+  classifier's predict_proba
 - ``monitor``    — streaming divergence monitor: replay a dataset in
   shuffled batches (optionally with injected drift) and print the
   drift-alert timeline; ``--store`` journals every window into a
@@ -48,9 +52,12 @@ from repro.params import (
     validate_min_t,
     validate_models,
     validate_offset,
+    validate_rank_k,
     validate_sample,
     validate_step,
     validate_support,
+    validate_top,
+    validate_weight_model,
     validate_window,
     validate_workers,
 )
@@ -207,6 +214,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shift/regression rows per challenger model")
     p_cmp.add_argument("--min-t", type=_arg(validate_min_t), default=0.0,
                        help="minimum |Welch t| for a shift to be reported")
+
+    p_rank = sub.add_parser(
+        "rank",
+        help="exposure/rank divergence of a score over all subgroups",
+    )
+    add_data_args(p_rank)
+    p_rank.add_argument(
+        "--weight-model", type=_arg(validate_weight_model),
+        default="exposure",
+        help="per-instance weight: exposure (1/log2(rank+1)), "
+             "topk (membership, needs --rank-k), reciprocal_rank, "
+             "or score (raw value)",
+    )
+    p_rank.add_argument("--rank-k", type=_arg(validate_rank_k), default=None,
+                        help="list size k for --weight-model topk")
+    p_rank.add_argument("--score-column", default="score",
+                        help="continuous column holding the ranking score; "
+                             "when absent, scores come from --classifier")
+    p_rank.add_argument("--classifier", default="logistic",
+                        help="classifier whose predict_proba supplies scores "
+                             "when --score-column is missing (forest, tree, "
+                             "logistic, naive-bayes)")
+    p_rank.add_argument("--support", type=_arg(validate_support), default=0.1)
+    p_rank.add_argument("--algorithm", default="bitset",
+                        choices=["bitset", "fpgrowth", "apriori", "eclat",
+                                 "bruteforce"])
+    p_rank.add_argument("--workers", type=_arg(validate_workers), default=None,
+                        help="mining worker processes: 0 auto, 1 serial, "
+                             ">=2 row-sharded (identical results)")
+    p_rank.add_argument("--top", type=_arg(validate_top), default=10)
 
     p_study = sub.add_parser("study", help="simulated user study")
     add_profile_arg(p_study)
@@ -387,6 +424,10 @@ def _dispatch(args: argparse.Namespace) -> None:
         _run_compare(args)
         return
 
+    if args.command == "rank":
+        _run_rank(args)
+        return
+
     if args.command == "report":
         explorer = _load_explorer(args)
         text = divergence_report(
@@ -472,6 +513,73 @@ def _dispatch(args: argparse.Namespace) -> None:
             print(lattice_to_dot(lattice, threshold=args.threshold))
         else:
             print(lattice.render(threshold=args.threshold))
+
+
+def _run_rank(args: argparse.Namespace) -> None:
+    """Exposure/rank divergence over all frequent subgroups."""
+    from repro.rank import RankDivergenceExplorer, dataset_scores
+
+    if args.dataset and args.csv:
+        raise ReproError("pass either --dataset or --csv, not both")
+    if args.weight_model == "topk" and args.rank_k is None:
+        raise ReproError("--weight-model topk requires --rank-k")
+    if args.dataset:
+        data = load(args.dataset, seed=args.seed)
+        table = data.table
+        attributes = list(data.attributes)
+        name = args.score_column
+        if name in table and table.column(name).is_continuous:
+            scores = table.continuous(name).values
+        else:
+            scores = dataset_scores(
+                data, classifier=args.classifier, seed=args.seed
+            )
+    elif args.csv:
+        raw = read_csv(args.csv)
+        name = args.score_column
+        if name not in raw or not raw.column(name).is_continuous:
+            raise ReproError(
+                f"CSV input needs a continuous score column "
+                f"(--score-column {name!r} not found or not numeric)"
+            )
+        # Pull the scores out before discretization would bin them.
+        scores = raw.continuous(name).values
+        table = discretize_table(
+            raw.without_columns([name]), default_bins=args.bins
+        )
+        excluded = {args.true_column, args.pred_column}
+        attributes = [
+            n for n in table.categorical_names if n not in excluded
+        ]
+    else:
+        raise ReproError("one of --dataset or --csv is required")
+
+    explorer = RankDivergenceExplorer(table, scores, attributes=attributes)
+    result = explorer.explore(
+        weight_model=args.weight_model,
+        min_support=args.support,
+        topk=args.rank_k,
+        algorithm=args.algorithm,
+        n_workers=args.workers,
+    )
+    print(
+        f"global mean {result.metric} weight = {result.global_rate:.4f} "
+        f"({len(result) - 1} patterns at s={args.support})"
+    )
+    records = result.top_k(args.top, by="abs_divergence")
+    rows = [
+        {
+            "itemset": str(r.itemset),
+            "sup": round(r.support, 3),
+            "mean": round(r.mean, 4),
+            f"Δ_{result.metric}": round(r.divergence, 4),
+            "t": round(r.t_statistic, 1),
+        }
+        for r in records
+    ]
+    print(format_table(
+        rows, title=f"{result.metric} divergence top patterns"
+    ))
 
 
 def _run_compare(args: argparse.Namespace) -> None:

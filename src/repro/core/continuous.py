@@ -12,9 +12,12 @@ the global mean.
 The same augmented-mining machinery applies — the miners accumulate
 arbitrary channel sums, so we carry (Σ score, Σ score²) per itemset and
 recover mean, variance and a Welch t-statistic for every frequent
-subgroup in a single pass. All downstream analyses that only consume a
-divergence table (local Shapley contributions, global divergence,
-corrective items, pruning, lattices) work unchanged on the result.
+subgroup in a single pass. Scores are carried through the int64
+accumulators with the shared overflow-checked encoder
+(:mod:`repro.core.fixedpoint`). All downstream analyses that only
+consume a divergence table (local Shapley contributions, global
+divergence, corrective items, pruning, lattices) work unchanged on the
+result.
 """
 
 from __future__ import annotations
@@ -25,15 +28,15 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.fixedpoint import SCALE as _SCALE
+from repro.core.fixedpoint import encode_weight_channels
 from repro.core.items import Itemset
 from repro.exceptions import ReproError, SchemaError
+from repro.fpm.cache import MiningCache
 from repro.fpm.miner import FrequentItemsets, mine_frequent
 from repro.fpm.transactions import ItemCatalog, TransactionDataset
+from repro.resilience import CancelToken, Deadline, cancel_scope, checkpoint
 from repro.tabular.table import Table
-
-#: Fixed-point scaling used to carry real-valued scores through the
-#: integer channel accumulators without precision loss that matters.
-_SCALE = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,15 @@ class ContinuousDivergenceExplorer:
         Per-instance real scores (length ``table.n_rows``).
     attributes:
         Analysis attributes; defaults to all categorical columns.
+    mining_cache:
+        Cache for completed mining runs; a fresh private
+        :class:`~repro.fpm.cache.MiningCache` by default. Pass a shared
+        instance to pool cached runs across explorers of the same data.
+    n_workers:
+        Default worker count for mining runs: ``None``/``1`` serial,
+        ``0`` auto, ``>= 2`` row-sharded (:mod:`repro.fpm.sharded`).
+        Sharded results are bit-identical to serial ones. Overridable
+        per :meth:`explore` call.
     """
 
     def __init__(
@@ -72,6 +84,8 @@ class ContinuousDivergenceExplorer:
         table: Table,
         scores: np.ndarray,
         attributes: Sequence[str] | None = None,
+        mining_cache: MiningCache | None = None,
+        n_workers: int | None = None,
     ) -> None:
         scores = np.asarray(scores, dtype=float)
         if scores.shape != (table.n_rows,):
@@ -82,6 +96,10 @@ class ContinuousDivergenceExplorer:
             raise ReproError("scores must be finite")
         self.table = table
         self.scores = scores
+        self.n_workers = n_workers
+        self.mining_cache = (
+            mining_cache if mining_cache is not None else MiningCache()
+        )
         if attributes is None:
             attributes = table.categorical_names
         attributes = list(attributes)
@@ -97,22 +115,62 @@ class ContinuousDivergenceExplorer:
             attributes, [table.categorical(n).categories for n in attributes]
         )
         self._matrix = table.encoded_matrix(attributes)
+        # Built lazily and reused across explore() calls so the packed
+        # bitmaps and the mining-cache fingerprint stay warm.
+        self._dataset: TransactionDataset | None = None
 
     def explore(
         self,
         min_support: float = 0.1,
         algorithm: str = "bitset",
         max_length: int | None = None,
+        use_cache: bool = True,
+        deadline: Deadline | float | None = None,
+        cancel_token: CancelToken | None = None,
+        n_workers: int | None = None,
     ) -> "ContinuousDivergenceResult":
-        """Mine all frequent subgroups and their mean-score divergence."""
-        fixed = np.round(self.scores * _SCALE).astype(np.int64)
-        fixed_sq = np.round((self.scores**2) * _SCALE).astype(np.int64)
-        channels = np.column_stack([fixed, fixed_sq])
-        dataset = TransactionDataset(self._matrix, self.catalog, channels)
-        frequent = mine_frequent(
-            dataset, min_support, algorithm=algorithm, max_length=max_length
-        )
-        return ContinuousDivergenceResult(frequent, self.catalog, min_support)
+        """Mine all frequent subgroups and their mean-score divergence.
+
+        Accepts the same plumbing as
+        :meth:`repro.core.divergence.DivergenceExplorer.explore`:
+        repeated configurations are served from :attr:`mining_cache`
+        (monotone support reuse included), ``n_workers`` routes the run
+        through the row-sharded engine, and ``deadline`` /
+        ``cancel_token`` abort cooperatively mid-mine.
+        """
+        workers = n_workers if n_workers is not None else self.n_workers
+        with cancel_scope(deadline=deadline, token=cancel_token):
+            checkpoint("explore")
+            dataset = self._dataset_for()
+            if use_cache:
+                frequent = self.mining_cache.mine(
+                    dataset,
+                    min_support,
+                    algorithm=algorithm,
+                    max_length=max_length,
+                    n_workers=workers,
+                )
+            else:
+                frequent = mine_frequent(
+                    dataset,
+                    min_support,
+                    algorithm=algorithm,
+                    max_length=max_length,
+                    n_workers=workers,
+                )
+            checkpoint("explore.result")
+            return ContinuousDivergenceResult(
+                frequent, self.catalog, min_support
+            )
+
+    def _dataset_for(self) -> TransactionDataset:
+        """The transaction dataset with fixed-point score channels."""
+        if self._dataset is None:
+            channels = encode_weight_channels(self.scores)
+            self._dataset = TransactionDataset(
+                self._matrix, self.catalog, channels
+            )
+        return self._dataset
 
 
 class ContinuousDivergenceResult:

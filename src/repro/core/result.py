@@ -80,16 +80,39 @@ class PatternDivergenceResult:
         # The whole count table as one (N, 3) matrix, in iteration
         # order; every per-pattern statistic is a single vectorized
         # expression over its columns.
+        # All count vectors of one mining run share a length, so one
+        # concatenate + reshape assembles the matrix far faster than
+        # np.asarray over per-key row slices.
         self._keys: list[frozenset[int]] = []
-        rows = []
+        vectors = []
         for key, counts in frequent.items():
             self._keys.append(key)
-            rows.append(counts[:3])
+            vectors.append(counts)
         self._count_matrix = (
-            np.asarray(rows, dtype=np.int64)
-            if rows
+            np.concatenate(vectors)
+            .astype(np.int64, copy=False)
+            .reshape(len(self._keys), -1)[:, :3]
+            if vectors
             else np.empty((0, 3), dtype=np.int64)
         )
+        self._records: list[PatternRecord] | None = None
+        self._records_nonempty: list[PatternRecord] | None = None
+        # Columnar caches for the vectorized analytics: the structural
+        # lattice index and the per-row divergence vector.
+        self._lattice_index = None
+        self._t_stats: np.ndarray | None = None
+        self._t_stats_signed: np.ndarray | None = None
+        self._derive_statistics()
+
+    def _derive_statistics(self) -> None:
+        """Derive the columnar rate/divergence table from the counts.
+
+        Subclasses for other outcome families (e.g. the rank-divergence
+        table, whose channels are fixed-point moment sums rather than
+        Boolean outcome counts) override this single hook; the count
+        matrix, key list and every downstream lattice analysis stay
+        shared.
+        """
         t_col = self._count_matrix[:, 1].astype(np.float64)
         f_col = self._count_matrix[:, 2].astype(np.float64)
         denom = t_col + f_col
@@ -97,21 +120,29 @@ class PatternDivergenceResult:
             rates = np.where(denom > 0, t_col / denom, np.nan)
         self._rates = rates
         divergences = rates - self.global_rate
-        # key -> divergence, computed once for all itemsets
-        self._divergence: dict[frozenset[int], float] = dict(
-            zip(self._keys, divergences.tolist())
-        )
-        self._records: list[PatternRecord] | None = None
-        self._records_nonempty: list[PatternRecord] | None = None
-        # Columnar caches for the vectorized analytics: the structural
-        # lattice index and the per-row divergence vector. The vector is
-        # tagged with the mapping it was derived from so a swapped-out
-        # divergence map (model comparison tooling, tests) is honored.
-        self._lattice_index = None
         self._div_vector: np.ndarray | None = divergences
-        self._div_vector_source: object = self._divergence
-        self._t_stats: np.ndarray | None = None
-        self._t_stats_signed: np.ndarray | None = None
+        self._div_vector_source: object = None
+
+    @property
+    def _divergence(self) -> dict[frozenset[int], float]:
+        """key -> divergence for all itemsets, built lazily.
+
+        The vectorized analytics only need :attr:`_div_vector`; the
+        dict exists for the map-keyed accessors and is derived from the
+        vector on first use. Assigning a replacement map (model
+        comparison tooling, tests) is honored: ``divergence_vector``
+        re-derives the vector from the substituted map.
+        """
+        mapping = self.__dict__.get("_divergence_map")
+        if mapping is None:
+            mapping = dict(zip(self._keys, self._div_vector.tolist()))
+            self.__dict__["_divergence_map"] = mapping
+            self._div_vector_source = mapping
+        return mapping
+
+    @_divergence.setter
+    def _divergence(self, mapping: dict[frozenset[int], float]) -> None:
+        self.__dict__["_divergence_map"] = mapping
 
     # ------------------------------------------------------------------
     # itemset translation
@@ -220,14 +251,15 @@ class PatternDivergenceResult:
         :attr:`divergence_map`, so results whose map was substituted
         stay consistent.
         """
-        if self._div_vector is None or self._div_vector_source is not self._divergence:
+        mapping = self.__dict__.get("_divergence_map")
+        if mapping is not None and self._div_vector_source is not mapping:
             nan = float("nan")
             self._div_vector = np.fromiter(
-                (self._divergence.get(key, nan) for key in self._keys),
+                (mapping.get(key, nan) for key in self._keys),
                 dtype=np.float64,
                 count=len(self._keys),
             )
-            self._div_vector_source = self._divergence
+            self._div_vector_source = mapping
         if zero_nan:
             return np.nan_to_num(self._div_vector, nan=0.0)
         return self._div_vector

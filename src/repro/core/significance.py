@@ -135,6 +135,36 @@ def welch_t_statistics_pair(
     return out
 
 
+def mean_divergence_t_statistics(
+    divergences: np.ndarray,
+    variances: np.ndarray,
+    counts: np.ndarray,
+    global_variance: float,
+    n_rows: int,
+    signed: bool = False,
+) -> np.ndarray:
+    """Vectorized Welch t of subgroup means against the global mean.
+
+    For real-valued outcomes (mean-score and rank/exposure divergence)
+    the statistic compares a subgroup's sample mean to the dataset mean:
+    ``t = Δ / sqrt(var/n + global_var/n_rows)``. Elementwise equal to
+    the scalar form used by the per-record oracles; a zero standard
+    error yields ``0`` (both populations are constant, mirroring the
+    scalar guard) and NaN divergences stay NaN. The default returns the
+    magnitude ``|t|``; ``signed=True`` keeps the direction.
+    """
+    div = np.asarray(divergences, dtype=np.float64)
+    var = np.asarray(variances, dtype=np.float64)
+    n = np.asarray(counts, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        se = np.sqrt(
+            np.where(n > 0, var / n, np.nan) + global_variance / n_rows
+        )
+        out = np.where(se > 0, div / se, 0.0)
+    out = np.where(np.isnan(div) | np.isnan(se), np.nan, out)
+    return out if signed else np.abs(out)
+
+
 def divergence_t_statistics(
     k_pos: np.ndarray,
     k_neg: np.ndarray,

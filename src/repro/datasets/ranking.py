@@ -1,0 +1,78 @@
+"""A synthetic ranking dataset with planted exposure bias.
+
+Models a scored candidate pool (think job-matching or content
+recommendation): every candidate has categorical profile attributes and
+a real-valued relevance ``score`` that a ranker sorts by. A latent
+quality drives both the score and the ground-truth ``class`` label —
+but the score additionally carries a *planted penalty* for one
+intersectional subgroup (``gender = f ∧ age = young``), pushing those
+candidates down the ranking while each attribute alone stays close to
+the global exposure. Exactly the showcase for subgroup rank divergence:
+the conjunction lights up, the margins look innocent.
+
+The table ships its own ``pred`` column (score above the median), so
+the registry serves it without training a classifier; the ``score``
+column is continuous and therefore never an analysis attribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.registry_types import LoadedDataset
+from repro.datasets.sampling import seeded_generator
+from repro.exceptions import DatasetError
+from repro.tabular.table import Table
+
+N_ROWS = 20_000
+ATTRIBUTES = ["gender", "age", "region", "edu"]
+#: The subgroup whose scores carry the planted penalty.
+PENALIZED = {"gender": "f", "age": "young"}
+#: Score penalty applied to the planted subgroup (in score units; the
+#: noise scale is 0.5, so the penalty is strong but not separable).
+PENALTY = 0.8
+
+_CATEGORIES = {
+    "gender": ["f", "m"],
+    "age": ["young", "mid", "senior"],
+    "region": ["north", "south", "east", "west"],
+    "edu": ["basic", "college", "graduate"],
+}
+
+
+def generate(seed: int = 0, n_rows: int = N_ROWS) -> LoadedDataset:
+    """Generate the ranking dataset with planted exposure divergence."""
+    if n_rows < 10:
+        raise DatasetError("n_rows too small for a meaningful dataset")
+    rng = seeded_generator(seed)
+    columns = {
+        name: rng.integers(0, len(cats), size=n_rows)
+        for name, cats in _CATEGORIES.items()
+    }
+    quality = rng.normal(0.0, 1.0, size=n_rows)
+    score = quality + rng.normal(0.0, 0.5, size=n_rows)
+    penalized = (
+        columns["gender"] == _CATEGORIES["gender"].index(PENALIZED["gender"])
+    ) & (columns["age"] == _CATEGORIES["age"].index(PENALIZED["age"]))
+    score = score - PENALTY * penalized
+    truth = quality > 0.0
+    pred = score >= np.median(score)
+
+    data: dict[str, list] = {
+        name: [_CATEGORIES[name][v] for v in values]
+        for name, values in columns.items()
+    }
+    data["score"] = [float(v) for v in score]
+    data["class"] = [int(v) for v in truth]
+    data["pred"] = [int(v) for v in pred]
+    table = Table.from_dict(data)
+    return LoadedDataset(
+        name="ranking",
+        table=table,
+        raw_table=table,
+        true_column="class",
+        pred_column="pred",
+        attributes=list(ATTRIBUTES),
+        n_continuous=1,
+        n_categorical=len(ATTRIBUTES),
+    )

@@ -14,7 +14,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.datasets import adult, artificial, bank, compas, german, heart
+from repro.datasets import adult, artificial, bank, compas, german, heart, ranking
 from repro.datasets.registry_types import LoadedDataset
 from repro.exceptions import DatasetError
 from repro.ml.forest import RandomForestClassifier
@@ -31,6 +31,7 @@ _GENERATORS = {
     "compas": compas.generate,
     "german": german.generate,
     "heart": heart.generate,
+    "ranking": ranking.generate,
 }
 
 DATASET_NAMES = tuple(sorted(_GENERATORS))

@@ -42,6 +42,16 @@ When the one-hot outcome channels form a complete partition of the rows
 ``k - 1`` channel bitmaps and reconstructs the last channel count as
 ``support - sum(others)`` — exact in integers — halving channel
 traffic for the common (T, F) case.
+
+Non-binary (dense) channels — the fixed-point (Σw, Σw²) sufficient
+statistics of the continuous and ranking extensions — shard too: the
+raw int64 channel values ride in the shared-memory segment after the
+item bitmaps, each worker keeps a private copy, and per-survivor
+channel sums are computed by unpacking the survivor's support bitmap
+into a row mask and summing the covered values (the sharded counterpart
+of the serial fallback's ``channels[mask].sum(axis=0)``). Sums are
+int64 and additive over row shards, so dense results stay bit-identical
+to serial runs as well.
 """
 
 from __future__ import annotations
@@ -87,6 +97,35 @@ _POLL_SECONDS = 0.02
 # Words per support-pass tile (~1 MiB of uint64): bounds the working
 # set of the broadcast AND so survivor-heavy levels stay in cache.
 _WORD_TILE = 1 << 17
+# Unpacked mask elements per dense-channel tile (~4 MiB of uint8):
+# bounds the row-mask working set when summing raw channel values.
+_DENSE_TILE = 1 << 22
+
+
+def _dense_channel_sums(
+    bitmaps: np.ndarray, chan_vals: np.ndarray | None, rows_n: int
+) -> np.ndarray:
+    """Per-bitmap channel-value sums for dense (non-binary) channels.
+
+    ``bitmaps`` is ``(m, words)`` uint64 support bitmaps over the
+    shard's rows; returns the ``(m, k)`` int64 sums of the covered
+    rows' raw channel values — the sharded counterpart of the serial
+    fallback's ``channels[mask].sum(axis=0)``. The packed words are
+    viewed as bytes before unpacking, which recovers the original
+    ``packbits`` byte order regardless of host endianness.
+    """
+    m = bitmaps.shape[0]
+    k = chan_vals.shape[1] if chan_vals is not None else 0
+    out = np.zeros((m, k), dtype=np.int64)
+    if m == 0 or k == 0 or rows_n == 0:
+        return out
+    byte_rows = np.ascontiguousarray(bitmaps).view(np.uint8)
+    chunk = max(1, _DENSE_TILE // rows_n)
+    for a in range(0, m, chunk):
+        b = min(a + chunk, m)
+        masks = np.unpackbits(byte_rows[a:b], axis=1, count=rows_n)
+        out[a:b] = masks.astype(np.int64) @ chan_vals
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -122,17 +161,33 @@ def _worker_main(conn) -> None:
                 conn.close()
                 return
             if kind == "load":
-                _, name, n_items, k, words = msg
+                _, name, n_items, k, words, dense, rows_n = msg
                 # Attaching re-registers the name with the resource
                 # tracker; workers are forked after ensure_running(),
                 # so this is a duplicate add to the master's tracker
                 # set and the master's unlink clears it exactly once.
                 shm = shared_memory.SharedMemory(name=name)
+                # Dense channels ship raw values, not bitmap planes.
+                bitmap_rows = n_items if dense else n_items + k
                 # Explicit shape: an empty shard (words == 0) must
                 # still yield (n_items, 0) views, not a (0, 0) array.
                 arr = np.frombuffer(
-                    shm.buf, dtype=np.uint64, count=(n_items + k) * words
-                ).reshape(n_items + k, words)
+                    shm.buf, dtype=np.uint64, count=bitmap_rows * words
+                ).reshape(bitmap_rows, words)
+                chan_vals = None
+                if dense:
+                    # Private copy of this shard's raw channel values:
+                    # it must survive the segment's close at roots.
+                    chan_vals = (
+                        np.frombuffer(
+                            shm.buf,
+                            dtype=np.int64,
+                            offset=n_items * words * 8,
+                            count=rows_n * k,
+                        )
+                        .reshape(rows_n, k)
+                        .copy()
+                    )
                 state.update(
                     shm=shm,
                     item_w=arr[:n_items],
@@ -140,9 +195,12 @@ def _worker_main(conn) -> None:
                     words=words,
                     k=k,
                     n_items=n_items,
+                    dense=dense,
+                    rows_n=rows_n,
+                    chan_vals=chan_vals,
                 )
                 chan_w = state["chan_w"]
-                if k and words:
+                if k and words and not dense:
                     union = np.bitwise_or.reduce(chan_w, axis=0)
                     or_popc = int(np.bitwise_count(union).sum(dtype=np.int64))
                     sum_popc = int(
@@ -180,6 +238,16 @@ def _worker_main(conn) -> None:
                 conn.send(counts)
             elif kind == "keep_roots":
                 state["B"] = np.ascontiguousarray(state["B"][msg[1]])
+            elif kind == "root_sums":
+                # Dense mode only: raw channel-value sums of the kept
+                # roots' coverage, merged by addition at the master.
+                conn.send(
+                    _dense_channel_sums(
+                        state["B"][:, 0],
+                        state["chan_vals"],
+                        state["rows_n"],
+                    )
+                )
             elif kind == "supports":
                 _, starts, ends, total = msg
                 B = state["B"]
@@ -224,7 +292,11 @@ def _worker_main(conn) -> None:
                 B = state["B"]
                 kk = state["kk"]
                 w = state["words"]
-                ch_counts = np.empty((n_next, kk), dtype=np.int64)
+                dense = state["dense"]
+                chan_vals = state["chan_vals"]
+                rows_n = state["rows_n"]
+                out_cols = state["k"] if dense else kk
+                ch_counts = np.empty((n_next, out_cols), dtype=np.int64)
                 max_m = int((offs[1:] - offs[:-1]).max()) if len(nodes) else 0
                 scratch = np.empty(
                     (max(max_m, 1), max(kk, 1), w), dtype=np.uint64
@@ -250,11 +322,16 @@ def _worker_main(conn) -> None:
                             s = scratch[:m, :kk]
                             np.bitwise_count(NB[c : c + m, 1:], out=s)
                             ch_counts[c : c + m] = s.sum(axis=-1, dtype=np.int64)
+                        elif dense:
+                            ch_counts[c : c + m] = _dense_channel_sums(
+                                NB[c : c + m, 0], chan_vals, rows_n
+                            )
                         c += m
                     state["B"] = NB
                 else:
                     # Final level: counts only, skip materializing the
-                    # next block entirely.
+                    # next block entirely (dense mode still needs the
+                    # survivor coverage, ANDed into scratch).
                     c = 0
                     for i in range(len(nodes)):
                         j = nodes[i]
@@ -265,6 +342,12 @@ def _worker_main(conn) -> None:
                             np.bitwise_and(B[j, 1:][None, :, :], B[rv, 1:], out=s)
                             np.bitwise_count(s, out=s)
                             ch_counts[c : c + m] = s.sum(axis=-1, dtype=np.int64)
+                        elif dense:
+                            s = scratch[:m, 0]
+                            np.bitwise_and(B[j, 0][None, :], B[rv, 0], out=s)
+                            ch_counts[c : c + m] = _dense_channel_sums(
+                                s, chan_vals, rows_n
+                            )
                         c += m
                 conn.send(ch_counts)
             elif kind == "release":
@@ -426,16 +509,15 @@ atexit.register(shutdown_pools)
 def shardable(dataset: TransactionDataset) -> bool:
     """Whether the sharded engine supports this dataset.
 
-    Requires fork-start workers (shared COW pages, no pickled setup),
-    at least one row, and binary (or absent) outcome channels — the
-    continuous extension's non-binary channels take the serial fallback
-    path exactly as in :class:`~repro.fpm.bitset.BitsetMiner`.
+    Requires fork-start workers (shared COW pages, no pickled setup)
+    and at least one row. Binary channels ride as bitmap planes;
+    non-binary (dense) channels — the fixed-point sufficient statistics
+    of the continuous and ranking extensions — ship their raw int64
+    values per shard and sum by row masks.
     """
     if "fork" not in mp.get_all_start_methods():
         return False
     if dataset.n_rows == 0:
-        return False
-    if dataset.n_channels and not dataset.channels_binary:
         return False
     return True
 
@@ -523,31 +605,37 @@ def mine_sharded(
 
 
 def _export_shards(pool: _ShardPool, dataset: TransactionDataset) -> list:
-    """Slice, pad and publish each shard through shared memory."""
+    """Slice, pad and publish each shard through shared memory.
+
+    Binary channels are packed bitmap planes right after the item
+    bitmaps; dense channels instead append the shard's raw int64
+    channel values (``rows * k`` values) to the segment.
+    """
     n = dataset.n_rows
     k = dataset.n_channels
+    dense = k > 0 and not dataset.channels_binary
     n_items = dataset.catalog.n_items
     bounds = plan_shards(n, pool.n)
     packed_items = dataset.packed_item_bitmaps
-    packed_channels = dataset.packed_channel_bitmaps if k else None
+    packed_channels = dataset.packed_channel_bitmaps if k and not dense else None
     segments = []
     for index in range(pool.n):
         start, stop = bounds[index], bounds[index + 1]
         rows = stop - start
         words = (rows + 63) // 64
-        segment = shared_memory.SharedMemory(
-            create=True, size=max(8, (n_items + k) * words * 8)
-        )
+        bitmap_rows = n_items if dense else n_items + k
+        size = bitmap_rows * words * 8 + (rows * k * 8 if dense else 0)
+        segment = shared_memory.SharedMemory(create=True, size=max(8, size))
         if rows:
             view = np.frombuffer(
-                segment.buf, dtype=np.uint64, count=(n_items + k) * words
+                segment.buf, dtype=np.uint64, count=bitmap_rows * words
             ).reshape(-1, words)
             item_slice = slice_packed_bits(packed_items, start, stop)
             pad = (-item_slice.shape[1]) % 8
             if pad:
                 item_slice = np.pad(item_slice, [(0, 0), (0, pad)])
             view[:n_items] = np.ascontiguousarray(item_slice).view(np.uint64)
-            if k:
+            if packed_channels is not None:
                 chan_slice = slice_packed_bits(packed_channels, start, stop)
                 if pad:
                     chan_slice = np.pad(chan_slice, [(0, 0), (0, pad)])
@@ -555,8 +643,19 @@ def _export_shards(pool: _ShardPool, dataset: TransactionDataset) -> list:
                     np.uint64
                 )
             del view  # release the exported buffer before any close()
+            if dense:
+                vals = np.frombuffer(
+                    segment.buf,
+                    dtype=np.int64,
+                    offset=n_items * words * 8,
+                    count=rows * k,
+                ).reshape(rows, k)
+                vals[:] = dataset.channels[start:stop]
+                del vals
         segments.append(segment)
-        pool.send(index, ("load", segment.name, n_items, k, words))
+        pool.send(
+            index, ("load", segment.name, n_items, k, words, dense, rows)
+        )
     return segments
 
 
@@ -569,6 +668,7 @@ def _mine_into(
 ) -> None:
     n = dataset.n_rows
     k = dataset.n_channels
+    dense = k > 0 and not dataset.channels_binary
     cols = dataset.catalog._item_column
     offsets = dataset.catalog.offsets
     registry = get_registry()
@@ -580,11 +680,14 @@ def _mine_into(
             stats = pool.gather()
             # Complete-partition detection must aggregate over shards:
             # one shard can look complete while another holds the ⊥
-            # rows whose channels are all zero.
+            # rows whose channels are all zero. Dense shards report
+            # (0, 0), so they can never register as complete.
             or_total = sum(s[0] for s in stats)
             sum_total = sum(s[1] for s in stats)
-            complete = k >= 1 and or_total == n and sum_total == n
-            kk = k - 1 if complete else k
+            complete = not dense and k >= 1 and or_total == n and sum_total == n
+            # Dense channels have no bitmap planes at all; their sums
+            # come from the raw values instead.
+            kk = 0 if dense else (k - 1 if complete else k)
             pool.broadcast(("roots", kk))
             root_counts = sum(pool.gather())
     finally:
@@ -607,10 +710,24 @@ def _mine_into(
         root_support = root_counts[:, 0]
         frequent = root_support >= min_count
         freq_items = np.flatnonzero(frequent)
-        root_vectors = full(root_support[frequent], root_counts[frequent, 1:])
+    pool.broadcast(("keep_roots", frequent), replies=False)
+    if dense:
+        # Kept roots only: one extra round gathers their raw-value
+        # channel sums, merged by int64 addition like everything else.
+        pool.broadcast(("root_sums",))
+        with span("fpm.shard.count"):
+            root_ch = sum(pool.gather())
+    with span("fpm.shard.merge"):
+        if dense:
+            root_vectors = np.concatenate(
+                [root_support[frequent][:, None], root_ch], axis=1
+            )
+        else:
+            root_vectors = full(
+                root_support[frequent], root_counts[frequent, 1:]
+            )
         for j, item in enumerate(freq_items.tolist()):
             out[frozenset((item,))] = root_vectors[j]
-    pool.broadcast(("keep_roots", frequent), replies=False)
 
     prefixes = [(int(item),) for item in freq_items.tolist()]
     item_of_row = freq_items

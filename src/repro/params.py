@@ -24,10 +24,12 @@ __all__ = [
     "validate_min_t",
     "validate_models",
     "validate_offset",
+    "validate_rank_k",
     "validate_sample",
     "validate_step",
     "validate_support",
     "validate_top",
+    "validate_weight_model",
     "validate_window",
     "validate_workers",
 ]
@@ -295,3 +297,40 @@ def validate_top(value: int | str, minimum: int = 1) -> int:
     if top < minimum:
         raise ReproError(f"top must be >= {minimum}, got {value!r}")
     return top
+
+
+def validate_weight_model(value: str) -> str:
+    """Coerce and check a rank weight model name.
+
+    One of :data:`repro.rank.weights.WEIGHT_MODELS` — ``exposure``,
+    ``topk``, ``reciprocal_rank`` or ``score``.
+    """
+    from repro.rank.weights import WEIGHT_MODELS
+
+    model = str(value).strip().lower()
+    if model not in WEIGHT_MODELS:
+        raise ReproError(
+            f"weight model must be one of {', '.join(WEIGHT_MODELS)}, "
+            f"got {value!r}"
+        )
+    return model
+
+
+def validate_rank_k(value: int | str | None) -> int | None:
+    """Coerce and check a ``topk`` weight-model list size: ``k >= 1``.
+
+    ``None`` means not provided (only valid for the other weight
+    models). Float strings like ``"10.5"`` are rejected rather than
+    truncated.
+    """
+    if value is None:
+        return None
+    try:
+        k = int(str(value))
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"rank k must be an integer >= 1, got {value!r}"
+        ) from None
+    if k < 1:
+        raise ReproError(f"rank k must be >= 1, got {value!r}")
+    return k

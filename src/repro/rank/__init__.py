@@ -1,0 +1,29 @@
+"""Ranking-outcome divergence: exposure/rank bias audits (`repro.rank`).
+
+Extends the paper's Boolean outcome abstraction to ranking and score
+outcomes, following the authors' own follow-up (Pastor/de Alfaro/
+Baralis, "Identifying Biased Subgroups in Ranking and Classification"):
+every instance gets a real-valued weight — its ranking exposure, top-k
+membership, reciprocal rank or raw score — and subgroup divergence is
+the difference between the subgroup's mean weight and the global mean.
+The (T, F, ⊥) count augmentation generalizes to per-itemset sufficient
+statistics (Σw, Σw², count), carried through every fpm backend in
+overflow-checked fixed point, so the whole lattice engine (Shapley,
+global divergence, corrective items, pruning, FDR) works unchanged.
+"""
+
+from repro.rank.explorer import RankDivergenceExplorer
+from repro.rank.result import RankDivergenceResult, RankPatternRecord
+from repro.rank.scoring import dataset_scores, model_scores
+from repro.rank.weights import WEIGHT_MODELS, rank_positions, rank_weights
+
+__all__ = [
+    "RankDivergenceExplorer",
+    "RankDivergenceResult",
+    "RankPatternRecord",
+    "WEIGHT_MODELS",
+    "dataset_scores",
+    "model_scores",
+    "rank_positions",
+    "rank_weights",
+]

@@ -1,0 +1,60 @@
+"""Ranking-score extraction from the in-repo classifiers.
+
+Every classifier in :mod:`repro.ml` exposes ``predict_proba`` — the
+probability of the positive class — which doubles as a ranking score:
+ordering instances by it is exactly the ranking a score-threshold
+deployment (loan approvals, resume screens, content feeds) would
+produce. These helpers train a registry classifier with the same 70%
+split convention as :func:`repro.datasets.registry.attach_predictions`
+and return the full-data score vector for rank-divergence audits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.registry import classifier_factory
+from repro.datasets.registry_types import LoadedDataset
+from repro.exceptions import ReproError
+from repro.ml.splits import train_test_split
+
+
+def model_scores(model: object, features: np.ndarray) -> np.ndarray:
+    """Positive-class probabilities of a fitted model as ranking scores."""
+    proba = getattr(model, "predict_proba", None)
+    if proba is None:
+        raise ReproError(
+            f"model {type(model).__name__} has no predict_proba; "
+            "rank exploration needs real-valued scores"
+        )
+    scores = np.asarray(proba(features), dtype=np.float64)
+    if scores.ndim == 2:  # (n, 2) convention: column 1 = positive class
+        scores = scores[:, -1]
+    if scores.ndim != 1 or scores.shape[0] != features.shape[0]:
+        raise ReproError(
+            f"predict_proba returned shape {scores.shape} for "
+            f"{features.shape[0]} rows"
+        )
+    if not np.isfinite(scores).all():
+        raise ReproError("predict_proba returned non-finite scores")
+    return scores
+
+
+def dataset_scores(
+    dataset: LoadedDataset, classifier: str = "logistic", seed: int = 0
+) -> np.ndarray:
+    """Train a registry classifier and score every row of ``dataset``.
+
+    Mirrors the ``attach_predictions`` training convention (70% split,
+    stratified, seeded) but returns the real-valued positive-class
+    probabilities instead of thresholded labels.
+    """
+    factory = classifier_factory(classifier)
+    x = dataset.encoded_features()
+    y = dataset.truth_array()
+    train_idx, _ = train_test_split(
+        dataset.n_rows, test_fraction=0.3, seed=seed, stratify=y
+    )
+    model = factory(seed)
+    model.fit(x[train_idx], y[train_idx])
+    return model_scores(model, x)

@@ -9,7 +9,8 @@ from repro.datasets.registry import attach_predictions
 from repro.exceptions import DatasetError
 from repro.ml.metrics import false_negative_rate, false_positive_rate
 
-# Paper Table 4 schema characteristics.
+# Paper Table 4 schema characteristics, plus the synthetic ranking
+# dataset (not in the paper; see docs/ranking.md).
 TABLE4 = {
     "adult": (45_222, 11, 4, 7),
     "bank": (11_162, 15, 6, 9),
@@ -17,6 +18,7 @@ TABLE4 = {
     "german": (1_000, 21, 7, 14),
     "heart": (296, 13, 5, 8),
     "artificial": (50_000, 10, 0, 10),
+    "ranking": (20_000, 4, 1, 4),
 }
 
 

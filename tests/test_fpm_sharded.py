@@ -180,17 +180,18 @@ class TestDispatch:
         with pytest.raises(MiningError):
             resolve_workers(-1, ds)
 
-    def test_non_binary_channels_fall_back_to_serial(self):
+    def test_non_binary_channels_shard_bit_identically(self):
+        # Dense (non-binary) channels ship raw values per shard and sum
+        # by row masks — sharded results stay bit-identical to serial.
         rng = np.random.default_rng(0)
         matrix = rng.integers(0, 2, size=(200, 3), dtype=np.int32)
         catalog = ItemCatalog(
             [f"a{j}" for j in range(3)], [["v0", "v1"]] * 3
         )
-        channels = rng.integers(0, 5, size=(200, 2))  # count channels
+        channels = rng.integers(-5, 5, size=(200, 2))  # raw value channels
         ds = TransactionDataset(matrix, catalog, channels)
-        assert not shardable(ds)
-        assert resolve_workers(4, ds) == 1
-        # mine_frequent silently serves the serial path
+        assert shardable(ds)
+        assert resolve_workers(4, ds) == 4
         serial = mine_frequent(ds, 0.1)
         routed = mine_frequent(ds, 0.1, n_workers=4)
         assert_identical(routed, serial)

@@ -1,0 +1,142 @@
+"""Tests for the ``/api/rank`` endpoint (in-process HTTP)."""
+
+import json
+import threading
+import urllib.request
+from urllib.error import HTTPError
+
+import pytest
+
+from repro.app.server import create_server
+
+ROW_KEYS = {"itemset", "support", "mean", "divergence", "t"}
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server = create_server(port=0, seed=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def rank_url(server_url, query):
+    return f"{server_url}/api/rank?{query}"
+
+
+def error_of(server_url, query):
+    with pytest.raises(HTTPError) as exc_info:
+        get_json(rank_url(server_url, query))
+    err = exc_info.value
+    return err.code, json.loads(err.read())["error"]
+
+
+class TestRankEndpoint:
+    def test_exposure_on_ranking_dataset(self, server_url):
+        data = get_json(rank_url(
+            server_url, "dataset=ranking&support=0.05&top=5"
+        ))
+        assert data["dataset"] == "ranking"
+        assert data["weight_model"] == "exposure"
+        assert data["metric"] == "exposure"
+        assert data["rank_k"] is None
+        assert data["n_patterns"] > 0
+        assert data["global_mean"] > 0
+        assert 0 < len(data["patterns"]) <= 5
+        for row in data["patterns"]:
+            assert set(row) == ROW_KEYS
+            assert 0 < row["support"] <= 1
+        # The planted subgroup dominates the divergence ranking.
+        top_items = data["patterns"][0]["itemset"]
+        assert "gender=f" in top_items and "age=young" in top_items
+        assert data["patterns"][0]["divergence"] < 0
+
+    def test_topk_model(self, server_url):
+        data = get_json(rank_url(
+            server_url,
+            "dataset=ranking&weight_model=topk&rank_k=500&support=0.1",
+        ))
+        assert data["metric"] == "topk@500"
+        assert data["rank_k"] == 500
+        assert data["global_mean"] == pytest.approx(500 / 20_000, abs=1e-9)
+
+    def test_workers_param_same_result(self, server_url):
+        serial = get_json(rank_url(
+            server_url, "dataset=ranking&support=0.1&workers=1"
+        ))
+        sharded = get_json(rank_url(
+            server_url,
+            "dataset=ranking&weight_model=reciprocal_rank"
+            "&support=0.1&workers=2",
+        ))
+        assert sharded["metric"] == "reciprocal_rank"
+        assert serial["n_patterns"] == sharded["n_patterns"]
+
+    def test_repeat_hits_cache(self, server_url):
+        query = "dataset=ranking&weight_model=score&support=0.2"
+        before = get_json(f"{server_url}/api/metrics")["counters"]
+        get_json(rank_url(server_url, query))
+        get_json(rank_url(server_url, query))
+        after = get_json(f"{server_url}/api/metrics")["counters"]
+        assert after["rank.cache_misses"] == \
+            before.get("rank.cache_misses", 0) + 1
+        assert after["rank.cache_hits"] >= \
+            before.get("rank.cache_hits", 0) + 1
+
+    def test_counters_pre_registered(self, server_url):
+        counters = get_json(f"{server_url}/api/metrics")["counters"]
+        for name in ("rank.explorations", "rank.cache_hits",
+                     "rank.cache_misses"):
+            assert name in counters
+
+    def test_unknown_dataset_400(self, server_url):
+        code, message = error_of(server_url, "dataset=nope")
+        assert code == 400 and "unknown dataset" in message
+
+    def test_bad_weight_model_400(self, server_url):
+        code, message = error_of(
+            server_url, "dataset=ranking&weight_model=borda"
+        )
+        assert code == 400 and "weight model" in message
+
+    def test_topk_without_k_400(self, server_url):
+        code, message = error_of(
+            server_url, "dataset=ranking&weight_model=topk"
+        )
+        assert code == 400 and "rank_k" in message
+
+    def test_bad_rank_k_400(self, server_url):
+        code, message = error_of(
+            server_url, "dataset=ranking&weight_model=topk&rank_k=0"
+        )
+        assert code == 400 and "rank k" in message
+
+    def test_bad_support_400(self, server_url):
+        code, message = error_of(server_url, "dataset=ranking&support=2")
+        assert code == 400 and "support" in message
+
+    def test_bad_workers_400(self, server_url):
+        code, message = error_of(
+            server_url, "dataset=ranking&workers=-1"
+        )
+        assert code == 400 and "workers" in message
+
+    def test_upload_handle_rejected(self, server_url):
+        code, message = error_of(server_url, "dataset=upload:foo")
+        assert code == 400 and "upload" in message
+
+    def test_classifier_scores_for_scoreless_dataset(self, server_url):
+        # compas has no continuous "score" column: scores come from a
+        # logistic model's predict_proba instead.
+        data = get_json(rank_url(
+            server_url, "dataset=compas&support=0.2&top=3"
+        ))
+        assert data["metric"] == "exposure"
+        assert data["n_patterns"] > 0
